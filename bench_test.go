@@ -1,0 +1,151 @@
+// Benchmarks reproducing the paper's evaluation. Each Benchmark* maps to
+// a table or figure of the paper (see EXPERIMENTS.md for the index and
+// the measured-vs-paper comparison):
+//
+//	BenchmarkTable2_*      — Table 2 (bulk vs one-at-a-time × cache)
+//	BenchmarkThroughput_*  — §3.3 throughput (request/response payloads)
+//	BenchmarkTable3_*      — Table 3 (wrapper latency phases)
+//	BenchmarkTable4_*      — Table 4 (distributed strategies for Q7)
+//	BenchmarkFigure1_Trace — Figure 1 (Bulk RPC translation w/ tracing)
+package xrpc
+
+import (
+	"testing"
+	"time"
+
+	"xrpc/internal/bench"
+	"xrpc/internal/strategies"
+	"xrpc/internal/xmark"
+)
+
+// benchRTT is the simulated round-trip latency (stands in for the
+// paper's 1 Gb/s LAN; see DESIGN.md substitutions).
+const benchRTT = 100 * time.Microsecond
+
+func runTable2Cell(b *testing.B, x int, bulk, warm bool) {
+	b.Helper()
+	env, err := bench.NewTable2Env(benchRTT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunEchoVoid(x, bulk, warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_OneAtATime_NoCache_X1(b *testing.B)    { runTable2Cell(b, 1, false, false) }
+func BenchmarkTable2_OneAtATime_NoCache_X1000(b *testing.B) { runTable2Cell(b, 1000, false, false) }
+func BenchmarkTable2_Bulk_NoCache_X1(b *testing.B)          { runTable2Cell(b, 1, true, false) }
+func BenchmarkTable2_Bulk_NoCache_X1000(b *testing.B)       { runTable2Cell(b, 1000, true, false) }
+func BenchmarkTable2_OneAtATime_Cache_X1(b *testing.B)      { runTable2Cell(b, 1, false, true) }
+func BenchmarkTable2_OneAtATime_Cache_X1000(b *testing.B)   { runTable2Cell(b, 1000, false, true) }
+func BenchmarkTable2_Bulk_Cache_X1(b *testing.B)            { runTable2Cell(b, 1, true, true) }
+func BenchmarkTable2_Bulk_Cache_X1000(b *testing.B)         { runTable2Cell(b, 1000, true, true) }
+
+func runThroughput(b *testing.B, kb int, response bool) {
+	b.Helper()
+	b.SetBytes(int64(kb) * 1024)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunThroughput(kb, response); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThroughput_Request256KB(b *testing.B)  { runThroughput(b, 256, false) }
+func BenchmarkThroughput_Request1MB(b *testing.B)    { runThroughput(b, 1024, false) }
+func BenchmarkThroughput_Response256KB(b *testing.B) { runThroughput(b, 256, true) }
+func BenchmarkThroughput_Response1MB(b *testing.B)   { runThroughput(b, 1024, true) }
+
+func table3Config() xmark.Config {
+	return xmark.Config{Persons: 200, AnnotationWords: 10, Seed: 1}
+}
+
+func runTable3(b *testing.B, fn string, x int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable3Fns([]string{fn}, []int{x}, table3Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0].Fn != fn || rows[0].X != x {
+			b.Fatalf("row %s x=%d missing", fn, x)
+		}
+	}
+}
+
+func BenchmarkTable3_EchoVoid_X1(b *testing.B)     { runTable3(b, "echoVoid", 1) }
+func BenchmarkTable3_EchoVoid_X1000(b *testing.B)  { runTable3(b, "echoVoid", 1000) }
+func BenchmarkTable3_GetPerson_X1(b *testing.B)    { runTable3(b, "getPerson", 1) }
+func BenchmarkTable3_GetPerson_X1000(b *testing.B) { runTable3(b, "getPerson", 1000) }
+
+// table4Config is a scaled-down version of the paper's 250-person /
+// 4875-auction setup (scale by -benchtime budget; cmd/xrpcbench runs the
+// full size).
+func table4Config() xmark.Config {
+	return xmark.Config{Persons: 50, ClosedAuctions: 500, Matches: 6, AnnotationWords: 40, Seed: 42}
+}
+
+func runTable4(b *testing.B, name, query string) {
+	b.Helper()
+	env, err := strategies.NewEnv(table4Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Run(name, query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows != 6 {
+			b.Fatalf("%s returned %d rows", name, r.Rows)
+		}
+	}
+}
+
+func BenchmarkTable4_DataShipping(b *testing.B) {
+	runTable4(b, "data shipping", strategies.QDataShipping)
+}
+
+func BenchmarkTable4_PredicatePushdown(b *testing.B) {
+	runTable4(b, "predicate push-down", strategies.QPredicatePushdown)
+}
+
+func BenchmarkTable4_ExecutionRelocation(b *testing.B) {
+	runTable4(b, "execution relocation", strategies.QExecutionRelocation)
+}
+
+func BenchmarkTable4_DistributedSemiJoin(b *testing.B) {
+	runTable4(b, "distributed semi-join", strategies.QDistributedSemiJoin)
+}
+
+func BenchmarkFigure1_Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace, err := bench.RunFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(trace.PerPeer) != 2 {
+			b.Fatal("trace incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure2_BulkTranslation measures the pure translation cost of
+// the Figure 2 rule (compile + plan execution without network effects).
+func BenchmarkFigure2_BulkTranslation(b *testing.B) {
+	env, err := bench.NewTable2Env(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunEchoVoid(100, true, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command xmarkgen generates the experiment documents: XMark-like
+// persons.xml and auctions.xml (the §5 setup) and the filmDB.xml running
+// example.
+//
+//	xmarkgen -scale 1.0 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"xrpc/internal/xmark"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "scale factor (1.0 = paper: 250 persons, 4875 auctions)")
+	matches := flag.Int("matches", 6, "join matches between persons and auctions")
+	films := flag.Int("films", 0, "if > 0, also generate a filmDB.xml with this many films")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	cfg := xmark.PaperConfig(*scale)
+	cfg.Matches = *matches
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name, text string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(text))
+	}
+	write("persons.xml", xmark.GeneratePersons(cfg))
+	write("auctions.xml", xmark.GenerateAuctions(cfg))
+	if *films > 0 {
+		write("filmDB.xml", xmark.GenerateFilmDB(*films, nil))
+	} else {
+		write("filmDB.xml", xmark.PaperFilmDB)
+	}
+}

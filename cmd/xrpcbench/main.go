@@ -1,0 +1,124 @@
+// Command xrpcbench regenerates the paper's evaluation tables and
+// figures:
+//
+//	xrpcbench -table 2           Table 2  (bulk vs one-at-a-time × cache)
+//	xrpcbench -table 3           Table 3  (wrapper latency phases)
+//	xrpcbench -table 4           Table 4  (Q7 distributed strategies)
+//	xrpcbench -table throughput  §3.3 request/response throughput
+//	xrpcbench -table fig1        Figure 1 (Bulk RPC intermediate tables)
+//	xrpcbench -table all         everything
+//
+// The -scale flag scales the XMark data (1.0 = the paper's 250 persons /
+// 4875 auctions); -rtt sets the simulated round-trip latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xrpc/internal/bench"
+	"xrpc/internal/xmark"
+)
+
+func main() {
+	table := flag.String("table", "all", "which experiment: 2, 3, 4, throughput, fig1, all")
+	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
+	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
+	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	all := *table == "all"
+	if all || *table == "2" {
+		run("Table 2", func() error { return runTable2(*rtt, *x) })
+	}
+	if all || *table == "throughput" {
+		run("Throughput (§3.3)", runThroughput)
+	}
+	if all || *table == "3" {
+		run("Table 3", func() error { return runTable3(*scale, *x) })
+	}
+	if all || *table == "4" {
+		run("Table 4", func() error { return runTable4(*scale) })
+	}
+	if all || *table == "fig1" {
+		run("Figure 1", runFigure1)
+	}
+}
+
+func runTable2(rtt time.Duration, x int) error {
+	xs := []int{1, x}
+	cells, err := bench.RunTable2(rtt, xs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable2(cells, xs))
+	fmt.Println("\npaper (msec, 2×Athlon64 @ 1 Gb/s):")
+	fmt.Println("              | No cache:  $x=1 133, $x=1000 2696 | cache: $x=1 2.6, $x=1000 2696  (one-at-a-time)")
+	fmt.Println("              | No cache:  $x=1 130, $x=1000  134 | cache: $x=1 2.7, $x=1000    4  (bulk)")
+	return nil
+}
+
+func runThroughput() error {
+	for _, kb := range []int{64, 256, 1024, 4096} {
+		req, err := bench.RunThroughput(kb, false)
+		if err != nil {
+			return err
+		}
+		resp, err := bench.RunThroughput(kb, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("payload %5d KB: request %7.1f MB/s   response %7.1f MB/s\n",
+			kb, req.MBPerSecond, resp.MBPerSecond)
+	}
+	fmt.Println("\npaper: 8 MB/s (large requests), 14 MB/s (large responses) — CPU-bound on 1 Gb/s LAN")
+	return nil
+}
+
+func runTable3(scale float64, x int) error {
+	cfg := xmark.PaperConfig(scale)
+	rows, err := bench.RunTable3([]int{1, x}, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable3(rows))
+	fmt.Println("\npaper (msec, Saxon-B 8.7):")
+	fmt.Println("  echoVoid  $x=1     total  275  compile 178  treebuild  4.6  exec   92")
+	fmt.Println("  echoVoid  $x=1000  total  590  compile 178  treebuild   86  exec  325")
+	fmt.Println("  getPerson $x=1     total 4276  compile 185  treebuild 1956  exec 2134")
+	fmt.Println("  getPerson $x=1000  total 8167  compile 185  treebuild 1973  exec 6010")
+	return nil
+}
+
+func runTable4(scale float64) error {
+	cfg := xmark.PaperConfig(scale)
+	fmt.Printf("XMark: %d persons, %d closed auctions, %d matches\n",
+		cfg.Persons, cfg.ClosedAuctions, cfg.Matches)
+	results, err := bench.RunTable4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable4(results))
+	fmt.Println("\npaper (msec): data shipping 28122 | pushdown 25799 | relocation 53184 | semi-join 10278")
+	return nil
+}
+
+func runFigure1() error {
+	trace, err := bench.RunFigure1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFigure1(trace))
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command xrpcq executes an XQuery query (with the XRPC execute-at
+// extension) as a local peer, sending remote calls over HTTP.
+//
+//	xrpcq -q '1 + 1'
+//	xrpcq -f query.xq -docs ./docs -modules ./modules
+//	xrpcq -f distributed.xq -engine interp
+//
+// Remote destinations in execute at {"xrpc://host:port"} are reached via
+// HTTP POST /xrpc, so xrpcq interoperates with running xrpcd daemons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xrpc/internal/client"
+	"xrpc/internal/core"
+)
+
+func main() {
+	query := flag.String("q", "", "query text")
+	file := flag.String("f", "", "query file")
+	docsDir := flag.String("docs", "", "directory of *.xml documents")
+	modsDir := flag.String("modules", "", "directory of *.xq modules")
+	engine := flag.String("engine", "bulk", "execution engine: bulk (loop-lifted) or interp (one-at-a-time)")
+	flag.Parse()
+
+	src := *query
+	if *file != "" {
+		text, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(text)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "usage: xrpcq -q <query> | -f <file> [-docs dir] [-modules dir] [-engine bulk|interp]")
+		os.Exit(2)
+	}
+
+	peer := core.NewPeer("xrpc://localhost", client.NewHTTPTransport())
+	if *engine == "interp" {
+		peer.Engine = core.EngineInterpreted
+	}
+	if *docsDir != "" {
+		if err := loadDir(*docsDir, ".xml", func(name, text string) error {
+			return peer.LoadDocument(name, text)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *modsDir != "" {
+		if err := loadDir(*modsDir, ".xq", func(name, text string) error {
+			return peer.RegisterModule(text, name)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := peer.Query(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Serialize())
+	if res.Requests > 0 {
+		fmt.Fprintf(os.Stderr, "(%d XRPC request(s) to %d peer(s))\n", res.Requests, len(res.Peers))
+	}
+}
+
+func loadDir(dir, ext string, load func(name, text string) error) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ext) {
+			continue
+		}
+		text, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := load(e.Name(), string(text)); err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// P2psearch: the abstract's claim that "by calling functions that
+// themselves perform XRPC calls, complex P2P communication patterns can
+// be achieved". A chain of peers each holds a shard of the film
+// database; a recursive module function searches the local shard and
+// forwards the query to the next peer — the originator sends ONE call
+// and receives the union of all shards' matches, and learns (via the
+// participating-peers piggyback) every peer that took part.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xrpc"
+	"xrpc/internal/xmark"
+)
+
+// p2p.xq: search the local shard, then forward to $next (empty string
+// terminates the chain).
+const p2pModule = `
+module namespace p2p="p2p";
+declare function p2p:search($actor as xs:string, $next as xs:string) as node()*
+{
+  (doc("filmDB.xml")//name[../actor=$actor],
+   if ($next eq "") then ()
+   else execute at {$next} {p2p:forward($actor, $next)})
+};
+declare function p2p:forward($actor as xs:string, $self as xs:string) as node()*
+{
+  p2p:search($actor, p2p:nextHop($self))
+};
+declare function p2p:nextHop($self as xs:string) as xs:string
+{
+  string((doc("ring.xml")//peer[@uri=$self]/@next)[1])
+};`
+
+func main() {
+	net := xrpc.NewNetwork(500*time.Microsecond, 0)
+
+	// four peers, each with a shard: Connery films on 1 and 3, Andrews
+	// on 2, Depardieu on 4
+	shards := []string{
+		`<films><film><name>The Rock</name><actor>Sean Connery</actor></film></films>`,
+		`<films><film><name>Sound Of Music</name><actor>Julie Andrews</actor></film></films>`,
+		`<films><film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+		        <film><name>Dr. No</name><actor>Sean Connery</actor></film></films>`,
+		`<films><film><name>Green Card</name><actor>Gerard Depardieu</actor></film></films>`,
+	}
+	uris := make([]string, len(shards))
+	for i := range shards {
+		uris[i] = fmt.Sprintf("xrpc://peer%d.example.org", i+1)
+	}
+	// the ring document tells each peer who its successor is
+	ring := "<ring>"
+	for i, uri := range uris {
+		next := ""
+		if i+1 < len(uris) {
+			next = uris[i+1]
+		}
+		ring += fmt.Sprintf(`<peer uri="%s" next="%s"/>`, uri, next)
+	}
+	ring += "</ring>"
+
+	var peers []*xrpc.Peer
+	for i, uri := range uris {
+		p := xrpc.NewPeer(uri, net)
+		must(p.LoadDocument("filmDB.xml", shards[i]))
+		must(p.LoadDocument("ring.xml", ring))
+		must(p.RegisterModule(p2pModule, "http://x.example.org/p2p.xq"))
+		net.Register(uri, p.Handler())
+		peers = append(peers, p)
+	}
+	_ = peers
+
+	local := xrpc.NewPeer("xrpc://local", net)
+	must(local.RegisterModule(p2pModule, "http://x.example.org/p2p.xq"))
+	must(local.LoadDocument("filmDB.xml", xmark.PaperFilmDB)) // unused shard
+	must(local.LoadDocument("ring.xml", ring))
+
+	// one call enters the chain at peer1; the query recursively forwards
+	// through all four peers
+	res, err := local.Query(`
+import module namespace p2p="p2p" at "http://x.example.org/p2p.xq";
+execute at {"` + uris[0] + `"} {p2p:forward("Sean Connery", "` + uris[0] + `")}`)
+	must(err)
+	fmt.Println("films by Sean Connery across the P2P chain:")
+	for _, it := range res.Sequence {
+		fmt.Println(" ", xrpc.Serialize(xrpc.Sequence{it}))
+	}
+	fmt.Printf("\noriginator sent %d request(s); participating peers (piggybacked):\n", res.Requests)
+	for _, p := range res.Peers {
+		fmt.Println(" ", p)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

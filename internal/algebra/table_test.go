@@ -1,0 +1,245 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xrpc/internal/xdm"
+)
+
+func i(v int64) xdm.Item  { return xdm.Integer(v) }
+func s(v string) xdm.Item { return xdm.String(v) }
+func b(v bool) xdm.Item   { return xdm.Boolean(v) }
+
+func sampleTable() *Table {
+	return Lit([]string{"iter", "pos", "item"},
+		[]xdm.Item{i(1), i(1), s("a")},
+		[]xdm.Item{i(1), i(2), s("b")},
+		[]xdm.Item{i(2), i(1), s("c")},
+	)
+}
+
+func TestProjectRename(t *testing.T) {
+	tb := sampleTable()
+	p := Project(tb, "x:item", "iter")
+	if len(p.Cols) != 2 || p.Cols[0] != "x" || p.Cols[1] != "iter" {
+		t.Fatalf("cols = %v", p.Cols)
+	}
+	if p.Rows[0][0].StringValue() != "a" {
+		t.Errorf("row 0 = %v", p.Rows[0])
+	}
+	// projection does not remove duplicates
+	dup := Lit([]string{"a", "b"},
+		[]xdm.Item{i(1), i(2)},
+		[]xdm.Item{i(1), i(3)},
+	)
+	if got := Project(dup, "a").Len(); got != 2 {
+		t.Errorf("project dedup'd: %d rows", got)
+	}
+}
+
+func TestSelectAndSelectEq(t *testing.T) {
+	tb := Lit([]string{"v", "keep"},
+		[]xdm.Item{i(1), b(true)},
+		[]xdm.Item{i(2), b(false)},
+		[]xdm.Item{i(3), b(true)},
+	)
+	if got := Select(tb, "keep").Len(); got != 2 {
+		t.Errorf("select = %d rows", got)
+	}
+	if got := SelectEq(sampleTable(), "iter", i(1)).Len(); got != 2 {
+		t.Errorf("selectEq = %d rows", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tb := Lit([]string{"a"},
+		[]xdm.Item{s("x")}, []xdm.Item{s("y")}, []xdm.Item{s("x")},
+	)
+	if got := Distinct(tb).Len(); got != 2 {
+		t.Errorf("distinct = %d rows", got)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Lit([]string{"v"}, []xdm.Item{i(1)})
+	bt := Lit([]string{"v"}, []xdm.Item{i(2)}, []xdm.Item{i(3)})
+	u := Union(a, bt)
+	if u.Len() != 3 {
+		t.Errorf("union = %d rows", u.Len())
+	}
+	all := UnionAll(a, bt, a)
+	if all.Len() != 4 {
+		t.Errorf("unionAll = %d rows", all.Len())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	orders := Lit([]string{"cust", "total"},
+		[]xdm.Item{s("ann"), i(10)},
+		[]xdm.Item{s("bob"), i(20)},
+		[]xdm.Item{s("ann"), i(30)},
+	)
+	custs := Lit([]string{"name", "city"},
+		[]xdm.Item{s("ann"), s("amsterdam")},
+		[]xdm.Item{s("eve"), s("vienna")},
+	)
+	j := Join(orders, custs, "cust", "name")
+	if j.Len() != 2 {
+		t.Fatalf("join = %d rows", j.Len())
+	}
+	if j.ColIdx("city") < 0 {
+		t.Fatalf("join cols = %v", j.Cols)
+	}
+	// column collision suffixing
+	jj := Join(orders, orders, "cust", "cust")
+	if jj.Len() != 5 { // ann(2)xann(2)=4 + bob x bob = 1
+		t.Errorf("self join = %d rows", jj.Len())
+	}
+	if jj.ColIdx("cust'") < 0 {
+		t.Errorf("collision cols = %v", jj.Cols)
+	}
+}
+
+func TestRowNumDenseRankSemantics(t *testing.T) {
+	tb := Lit([]string{"part", "val"},
+		[]xdm.Item{s("p1"), i(30)},
+		[]xdm.Item{s("p2"), i(10)},
+		[]xdm.Item{s("p1"), i(10)},
+		[]xdm.Item{s("p2"), i(20)},
+		[]xdm.Item{s("p1"), i(20)},
+	)
+	r := RowNum(tb, "rank", []string{"val"}, "part")
+	// ranks ascend by val within each partition; rows keep original order
+	want := []int64{3, 1, 1, 2, 2}
+	for idx, w := range want {
+		if got := r.Int(idx, r.ColIdx("rank")); got != w {
+			t.Errorf("row %d rank = %d, want %d\n%s", idx, got, w, r)
+		}
+	}
+	// single partition
+	r2 := RowNum(tb, "n", []string{"val"}, "")
+	if r2.Len() != 5 {
+		t.Fatalf("rows = %d", r2.Len())
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	tb := Lit([]string{"k"},
+		[]xdm.Item{i(3)}, []xdm.Item{i(1)}, []xdm.Item{i(2)},
+	)
+	s := SortBy(tb, "k")
+	if s.Int(0, 0) != 1 || s.Int(2, 0) != 3 {
+		t.Errorf("sorted = %v", s.Rows)
+	}
+	// original untouched
+	if tb.Int(0, 0) != 3 {
+		t.Error("SortBy mutated its input")
+	}
+}
+
+func TestMap12(t *testing.T) {
+	tb := Lit([]string{"a", "b"},
+		[]xdm.Item{i(2), i(3)},
+		[]xdm.Item{i(4), i(5)},
+	)
+	m, err := Map2(tb, "sum", "a", "b", func(x, y xdm.Item) (xdm.Item, error) {
+		return xdm.Integer(int64(x.(xdm.Integer)) + int64(y.(xdm.Integer))), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int(0, m.ColIdx("sum")) != 5 || m.Int(1, m.ColIdx("sum")) != 9 {
+		t.Errorf("map2 = %s", m)
+	}
+	m1, err := Map1(tb, "neg", "a", func(x xdm.Item) (xdm.Item, error) {
+		return xdm.Integer(-int64(x.(xdm.Integer))), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Int(0, m1.ColIdx("neg")) != -2 {
+		t.Errorf("map1 = %s", m1)
+	}
+}
+
+func TestGroupCountSum(t *testing.T) {
+	tb := Lit([]string{"g", "v"},
+		[]xdm.Item{s("a"), i(1)},
+		[]xdm.Item{s("b"), i(2)},
+		[]xdm.Item{s("a"), i(3)},
+	)
+	gc := GroupCount(tb, "g")
+	if gc.Len() != 2 || gc.Int(0, 1) != 2 {
+		t.Errorf("groupCount = %s", gc)
+	}
+	gs, err := GroupSum(tb, "g", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := xdm.NumericValue(gs.Rows[0][1]); v != 4 {
+		t.Errorf("groupSum = %s", gs)
+	}
+}
+
+// Property: δ is idempotent and never increases cardinality.
+func TestQuickDistinctIdempotent(t *testing.T) {
+	f := func(vals []int8) bool {
+		tb := NewTable("v")
+		for _, v := range vals {
+			tb.Append(i(int64(v)))
+		}
+		d1 := Distinct(tb)
+		d2 := Distinct(d1)
+		return d1.Len() <= tb.Len() && d1.Len() == d2.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: join with an empty side is empty; union length adds.
+func TestQuickJoinUnionLaws(t *testing.T) {
+	f := func(a, b []int8) bool {
+		ta := NewTable("v")
+		for _, v := range a {
+			ta.Append(i(int64(v)))
+		}
+		tb := NewTable("v")
+		for _, v := range b {
+			tb.Append(i(int64(v)))
+		}
+		if Union(ta, tb).Len() != ta.Len()+tb.Len() {
+			return false
+		}
+		empty := NewTable("v")
+		return Join(ta, empty, "v", "v").Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RowNum assigns each row of a single partition a unique
+// number 1..N.
+func TestQuickRowNumPermutation(t *testing.T) {
+	f := func(vals []int16) bool {
+		tb := NewTable("v")
+		for _, v := range vals {
+			tb.Append(i(int64(v)))
+		}
+		r := RowNum(tb, "n", []string{"v"}, "")
+		seen := map[int64]bool{}
+		for idx := range r.Rows {
+			n := r.Int(idx, r.ColIdx("n"))
+			if n < 1 || n > int64(len(vals)) || seen[n] {
+				return false
+			}
+			seen[n] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

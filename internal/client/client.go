@@ -1,0 +1,275 @@
+// Package client implements the XRPC message sender API of §3: it turns
+// function applications into SOAP XRPC request messages, posts them to
+// destination peers, and shreds response messages back into XDM
+// sequences. It supports single calls (one-at-a-time RPC, used by the
+// interpreter), Bulk RPC (used by the loop-lifting engine), parallel
+// multi-destination dispatch (§3.2 "Parallel & Out-Of-Order"), and the
+// getDocument system call used for data-shipping queries.
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"xrpc/internal/interp"
+	"xrpc/internal/netsim"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+)
+
+// XRPCPath is the HTTP path XRPC requests are posted to.
+const XRPCPath = "/xrpc"
+
+// SystemModule is the reserved module URI for XRPC-internal calls (the
+// document fetch behind data shipping).
+const SystemModule = "urn:xrpc-system"
+
+// Client sends XRPC requests on behalf of one query. It implements
+// interp.RPCCaller. A Client records every peer it contacts so the
+// originator can register all participants with the WS-Coordination
+// service (§2.3); peers piggybacked on responses are folded in too.
+type Client struct {
+	Transport netsim.Transport
+	// QueryID, when set, is attached to every request (repeatable-read
+	// isolation). Nil means isolation level "none".
+	QueryID *soap.QueryID
+
+	mu    sync.Mutex
+	peers map[string]bool
+
+	// Stats for experiments.
+	Requests int64
+	Sent     int64
+	Received int64
+}
+
+// New creates a client over a transport.
+func New(t netsim.Transport) *Client {
+	return &Client{Transport: t, peers: map[string]bool{}}
+}
+
+// Peers returns all destination peers this client has contacted,
+// including peers piggybacked by nested calls.
+func (c *Client) Peers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.peers))
+	for p := range c.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (c *Client) notePeers(dest string, piggyback []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peers[dest] = true
+	for _, p := range piggyback {
+		c.peers[p] = true
+	}
+}
+
+// Call implements interp.RPCCaller: a single (non-bulk) XRPC call.
+func (c *Client) Call(dest string, req *interp.CallRequest) (xdm.Sequence, error) {
+	results, err := c.CallBulk(dest, &BulkRequest{
+		ModuleURI:  req.ModuleURI,
+		AtHint:     req.AtHint,
+		Func:       req.Func,
+		Arity:      req.Arity,
+		Updating:   req.Updating,
+		ByFragment: req.ByFragment,
+		Calls:      [][]xdm.Sequence{req.Args},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != 1 {
+		return nil, fmt.Errorf("xrpc: expected 1 result sequence, got %d", len(results))
+	}
+	return results[0], nil
+}
+
+// BulkRequest is a set of calls of one function at one destination.
+type BulkRequest struct {
+	ModuleURI string
+	AtHint    string
+	Func      string
+	Arity     int
+	Updating  bool
+	Calls     [][]xdm.Sequence
+	// ByFragment enables the call-by-fragment extension (descendant
+	// node parameters travel as xrpc:nodeid references).
+	ByFragment bool
+	// SeqNrs tags calls with their original query positions for the
+	// deterministic-update-order extension.
+	SeqNrs []int64
+}
+
+// CallBulk performs a Bulk RPC: all calls in a single request/response
+// network interaction, returning one result sequence per call.
+func (c *Client) CallBulk(dest string, br *BulkRequest) ([]xdm.Sequence, error) {
+	req := &soap.Request{
+		Module:     br.ModuleURI,
+		Method:     br.Func,
+		Arity:      br.Arity,
+		Location:   br.AtHint,
+		Updating:   br.Updating,
+		QueryID:    c.QueryID,
+		Calls:      br.Calls,
+		ByFragment: br.ByFragment,
+		SeqNrs:     br.SeqNrs,
+	}
+	body := soap.EncodeRequest(req)
+	respBody, err := c.Transport.Send(dest, XRPCPath, body)
+	c.mu.Lock()
+	c.Requests++
+	c.Sent += int64(len(body))
+	c.Received += int64(len(respBody))
+	c.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: send to %s: %w", dest, err)
+	}
+	resp, err := soap.DecodeResponse(respBody)
+	if err != nil {
+		return nil, err // includes *soap.Fault
+	}
+	if len(resp.Results) != len(br.Calls) {
+		return nil, fmt.Errorf("xrpc: %d results for %d calls", len(resp.Results), len(br.Calls))
+	}
+	c.notePeers(dest, resp.Peers)
+	return resp.Results, nil
+}
+
+// CallOneAtATime performs the same set of calls as CallBulk but with one
+// synchronous request per call — the comparison mechanism from Table 2 of
+// the paper.
+func (c *Client) CallOneAtATime(dest string, br *BulkRequest) ([]xdm.Sequence, error) {
+	out := make([]xdm.Sequence, 0, len(br.Calls))
+	for ci, call := range br.Calls {
+		single := &BulkRequest{
+			ModuleURI:  br.ModuleURI,
+			AtHint:     br.AtHint,
+			Func:       br.Func,
+			Arity:      br.Arity,
+			Updating:   br.Updating,
+			ByFragment: br.ByFragment,
+			Calls:      [][]xdm.Sequence{call},
+		}
+		if br.SeqNrs != nil {
+			single.SeqNrs = []int64{br.SeqNrs[ci]}
+		}
+		res, err := c.CallBulk(dest, single)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res[0])
+	}
+	return out, nil
+}
+
+// BulkByDest is one destination's share of a multi-destination bulk
+// dispatch, with the original call indexes for result re-mapping
+// (the map_p tables of Figure 1).
+type BulkByDest struct {
+	Dest    string
+	Request *BulkRequest
+	// OrigIdx[i] is the position in the overall call list that this
+	// destination's call i came from.
+	OrigIdx []int
+}
+
+// CallParallel dispatches bulk requests to multiple destinations in
+// parallel and re-unites results in original call order (Figure 1:
+// parallel Bulk RPC with mapping tables). Results[origIdx] receives the
+// corresponding sequence.
+func (c *Client) CallParallel(parts []*BulkByDest, total int) ([]xdm.Sequence, error) {
+	results := make([]xdm.Sequence, total)
+	var wg sync.WaitGroup
+	errs := make([]error, len(parts))
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part *BulkByDest) {
+			defer wg.Done()
+			res, err := c.CallBulk(part.Dest, part.Request)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for j, seq := range res {
+				results[part.OrigIdx[j]] = seq
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// FetchDocument retrieves a remote document by path from dest using the
+// reserved getDocument system call — the mechanism behind data-shipping
+// execution of fn:doc("xrpc://peer/path").
+func (c *Client) FetchDocument(dest, path string) (*xdm.Node, error) {
+	res, err := c.CallBulk(dest, &BulkRequest{
+		ModuleURI: SystemModule,
+		Func:      "getDocument",
+		Arity:     1,
+		Calls:     [][]xdm.Sequence{{{xdm.String(path)}}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res[0]) != 1 {
+		return nil, fmt.Errorf("xrpc: getDocument(%q) returned %d items", path, len(res[0]))
+	}
+	n, ok := res[0][0].(*xdm.Node)
+	if !ok {
+		return nil, fmt.Errorf("xrpc: getDocument(%q) returned a non-node", path)
+	}
+	return n, nil
+}
+
+// DocResolver is a document resolver that sends fn:doc calls with
+// xrpc:// URIs to the remote peer (data shipping) and delegates all other
+// URIs to a local resolver. Fetched documents are cached: fn:doc is
+// stable within a query (the same URI must yield the same node), and
+// without the cache a doc() under a for-loop would re-ship the document
+// once per iteration.
+type DocResolver struct {
+	Local  interp.DocResolver
+	Client *Client
+
+	mu      sync.Mutex
+	fetched map[string]*xdm.Node
+}
+
+// Doc implements interp.DocResolver.
+func (r *DocResolver) Doc(uri string) (*xdm.Node, error) {
+	host, path := interp.SplitXrpcURL(uri)
+	if host == "localhost" {
+		if r.Local == nil {
+			return nil, xdm.Errorf("FODC0002", "document %q not found (no local store)", uri)
+		}
+		return r.Local.Doc(uri)
+	}
+	r.mu.Lock()
+	if doc, ok := r.fetched[uri]; ok {
+		r.mu.Unlock()
+		return doc, nil
+	}
+	r.mu.Unlock()
+	doc, err := r.Client.FetchDocument(host, path)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.fetched == nil {
+		r.fetched = map[string]*xdm.Node{}
+	}
+	r.fetched[uri] = doc
+	r.mu.Unlock()
+	return doc, nil
+}

@@ -1,0 +1,175 @@
+package client
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"xrpc/internal/interp"
+	"xrpc/internal/modules"
+	"xrpc/internal/netsim"
+	"xrpc/internal/server"
+	"xrpc/internal/soap"
+	"xrpc/internal/store"
+	"xrpc/internal/xdm"
+	"xrpc/internal/xmark"
+)
+
+const filmModule = `
+module namespace film="films";
+declare function film:filmsByActor($actor as xs:string) as node()*
+{ doc("filmDB.xml")//name[../actor=$actor] };`
+
+func newServer(t *testing.T) *server.Server {
+	t.Helper()
+	st := store.New()
+	if err := st.LoadXML("filmDB.xml", xmark.PaperFilmDB); err != nil {
+		t.Fatal(err)
+	}
+	reg := modules.NewRegistry()
+	if err := reg.Register(filmModule, "http://x.example.org/film.xq"); err != nil {
+		t.Fatal(err)
+	}
+	return server.New(st, reg, server.NewNativeExecutor(interp.New(st, reg, nil), reg))
+}
+
+func TestCallSingle(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	net.Register("xrpc://y", newServer(t))
+	cl := New(net)
+	seq, err := cl.Call("xrpc://y", &interp.CallRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1,
+		Args: []xdm.Sequence{{xdm.String("Sean Connery")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 {
+		t.Fatalf("films = %d", len(seq))
+	}
+	if cl.Requests != 1 || cl.Sent == 0 || cl.Received == 0 {
+		t.Errorf("stats = %d/%d/%d", cl.Requests, cl.Sent, cl.Received)
+	}
+	peers := cl.Peers()
+	if len(peers) != 1 || peers[0] != "xrpc://y" {
+		t.Errorf("peers = %v", peers)
+	}
+}
+
+func TestCallOneAtATimeCount(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	srv := newServer(t)
+	net.Register("xrpc://y", srv)
+	cl := New(net)
+	calls := [][]xdm.Sequence{
+		{{xdm.String("Sean Connery")}},
+		{{xdm.String("Julie Andrews")}},
+		{{xdm.String("Gerard Depardieu")}},
+	}
+	br := &BulkRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1, Calls: calls,
+	}
+	res, err := cl.CallOneAtATime("xrpc://y", br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if srv.ServedRequests != 3 {
+		t.Errorf("requests = %d, want 3", srv.ServedRequests)
+	}
+	if len(res[0]) != 2 || len(res[1]) != 0 || len(res[2]) != 1 {
+		t.Errorf("result sizes = %d,%d,%d", len(res[0]), len(res[1]), len(res[2]))
+	}
+}
+
+func TestResultCountMismatchRejected(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	net.Register("xrpc://bad", netsim.HandlerFunc(func(_ string, _ []byte) ([]byte, error) {
+		// respond with zero result sequences for a one-call request
+		return soap.EncodeResponse(&soap.Response{Module: "m", Method: "f"}), nil
+	}))
+	cl := New(net)
+	_, err := cl.CallBulk("xrpc://bad", &BulkRequest{
+		ModuleURI: "m", Func: "f", Arity: 0,
+		Calls: [][]xdm.Sequence{{}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "results") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDocResolverCachesFetches(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	srv := newServer(t)
+	var fetches atomic.Int64
+	net.Register("xrpc://y", netsim.HandlerFunc(func(path string, body []byte) ([]byte, error) {
+		fetches.Add(1)
+		return srv.HandleXRPC(path, body)
+	}))
+	r := &DocResolver{Client: New(net)}
+	for i := 0; i < 5; i++ {
+		doc, err := r.Doc("xrpc://y/filmDB.xml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Kind != xdm.DocumentNode {
+			t.Fatalf("kind = %v", doc.Kind)
+		}
+	}
+	if fetches.Load() != 1 {
+		t.Errorf("fetches = %d, want 1 (fn:doc is stable within a query)", fetches.Load())
+	}
+}
+
+func TestDocResolverLocalFallback(t *testing.T) {
+	st := store.New()
+	if err := st.LoadXML("local.xml", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	r := &DocResolver{Local: st, Client: New(netsim.NewNetwork(0, 0))}
+	if _, err := r.Doc("local.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Doc("missing.xml"); err == nil {
+		t.Error("expected error for missing local doc")
+	}
+	r2 := &DocResolver{Client: New(netsim.NewNetwork(0, 0))}
+	if _, err := r2.Doc("anything.xml"); err == nil {
+		t.Error("expected error with no local store")
+	}
+}
+
+func TestHTTPTransportEndToEnd(t *testing.T) {
+	srv := newServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cl := New(NewHTTPTransport())
+	dest := strings.Replace(ts.URL, "http://", "xrpc://", 1)
+	res, err := cl.CallBulk(dest, &BulkRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1,
+		Calls: [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0]) != 2 {
+		t.Fatalf("films over HTTP = %d", len(res[0]))
+	}
+}
+
+func TestHTTPTransportBadDest(t *testing.T) {
+	cl := New(NewHTTPTransport())
+	_, err := cl.CallBulk("xrpc://127.0.0.1:1", &BulkRequest{ // closed port
+		ModuleURI: "m", Func: "f", Arity: 0, Calls: [][]xdm.Sequence{{}},
+	})
+	if err == nil {
+		t.Error("expected connection error")
+	}
+}

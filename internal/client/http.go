@@ -1,0 +1,50 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPTransport sends XRPC messages over real HTTP (SOAP over HTTP
+// POST, as the paper's protocol specifies). Destination URIs use the
+// xrpc:// scheme and are rewritten to http://host[:port]; a destination
+// that already has an http:// scheme is used as-is.
+type HTTPTransport struct {
+	// Client is the underlying HTTP client (default: 30 s timeout).
+	Client *http.Client
+}
+
+// NewHTTPTransport creates a transport with a default client.
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Send implements netsim.Transport over HTTP.
+func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
+	url := dest
+	if strings.HasPrefix(url, "xrpc://") {
+		url = "http://" + strings.TrimPrefix(url, "xrpc://")
+	}
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + path
+	cl := t.Client
+	if cl == nil {
+		cl = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := cl.Post(url, "application/soap+xml; charset=utf-8", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("xrpc http: %w", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("xrpc http: reading response: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,760 @@
+package interp
+
+import (
+	"math"
+	"strings"
+
+	"xrpc/internal/xdm"
+	"xrpc/internal/xq"
+)
+
+// evalBuiltin dispatches built-in function calls. Names may be written
+// bare ("count") or with the fn: prefix; xs:TYPE(...) constructor
+// functions cast; xrpc:host/xrpc:path are the §5 helper functions.
+func (ctx *dynCtx) evalBuiltin(call *xq.FuncCall) (xdm.Sequence, error) {
+	name := call.Name
+	if strings.HasPrefix(name, "fn:") {
+		name = name[3:]
+	}
+	// xs: constructor functions
+	if strings.HasPrefix(call.Name, "xs:") && len(call.Args) == 1 {
+		v, err := ctx.eval(call.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		v = xdm.Atomize(v)
+		if len(v) == 0 {
+			return nil, nil
+		}
+		if len(v) > 1 {
+			return nil, xdm.NewError("XPTY0004", "constructor argument is not a singleton")
+		}
+		out, err := xdm.CastAtomic(v[0], call.Name)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Singleton(out), nil
+	}
+	fn, ok := builtins[name]
+	if !ok {
+		if ext, isExt := ctx.c.engine.ExtFuncs[call.Name]; isExt {
+			args := make([]xdm.Sequence, len(call.Args))
+			for i, a := range call.Args {
+				v, err := ctx.eval(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			return ext(args)
+		}
+		return nil, xdm.Errorf("XPST0017", "unknown function %s#%d", call.Name, len(call.Args))
+	}
+	if fn.minArgs > len(call.Args) || len(call.Args) > fn.maxArgs {
+		return nil, xdm.Errorf("XPST0017", "wrong number of arguments for %s: %d", call.Name, len(call.Args))
+	}
+	if fn.raw != nil {
+		return fn.raw(ctx, call.Args)
+	}
+	args := make([]xdm.Sequence, len(call.Args))
+	for i, a := range call.Args {
+		v, err := ctx.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn.eval(ctx, args)
+}
+
+type builtin struct {
+	minArgs, maxArgs int
+	eval             func(ctx *dynCtx, args []xdm.Sequence) (xdm.Sequence, error)
+	// raw builtins receive unevaluated ASTs (position/last need none;
+	// used for functions with special evaluation rules).
+	raw func(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error)
+}
+
+var builtins map[string]builtin
+
+func init() {
+	builtins = map[string]builtin{
+		"doc": {1, 1, bifDoc, nil},
+		"put": {2, 2, bifPut, nil},
+
+		"count":  {1, 1, bifCount, nil},
+		"empty":  {1, 1, bifEmpty, nil},
+		"exists": {1, 1, bifExists, nil},
+
+		"not":     {1, 1, bifNot, nil},
+		"boolean": {1, 1, bifBoolean, nil},
+		"true":    {0, 0, bifTrue, nil},
+		"false":   {0, 0, bifFalse, nil},
+
+		"string":           {0, 1, nil, bifString},
+		"data":             {1, 1, bifData, nil},
+		"number":           {0, 1, nil, bifNumber},
+		"concat":           {2, 64, bifConcat, nil},
+		"contains":         {2, 2, bifContains, nil},
+		"starts-with":      {2, 2, bifStartsWith, nil},
+		"ends-with":        {2, 2, bifEndsWith, nil},
+		"substring":        {2, 3, bifSubstring, nil},
+		"substring-before": {2, 2, bifSubstringBefore, nil},
+		"substring-after":  {2, 2, bifSubstringAfter, nil},
+		"string-length":    {0, 1, nil, bifStringLength},
+		"string-join":      {2, 2, bifStringJoin, nil},
+		"upper-case":       {1, 1, bifUpperCase, nil},
+		"lower-case":       {1, 1, bifLowerCase, nil},
+		"normalize-space":  {0, 1, nil, bifNormalizeSpace},
+		"translate":        {3, 3, bifTranslate, nil},
+		"tokenize":         {2, 2, bifTokenize, nil},
+
+		"sum":     {1, 2, bifSum, nil},
+		"avg":     {1, 1, bifAvg, nil},
+		"min":     {1, 1, bifMin, nil},
+		"max":     {1, 1, bifMax, nil},
+		"abs":     {1, 1, bifAbs, nil},
+		"floor":   {1, 1, bifFloor, nil},
+		"ceiling": {1, 1, bifCeiling, nil},
+		"round":   {1, 1, bifRound, nil},
+
+		"distinct-values": {1, 1, bifDistinctValues, nil},
+		"reverse":         {1, 1, bifReverse, nil},
+		"subsequence":     {2, 3, bifSubsequence, nil},
+		"insert-before":   {3, 3, bifInsertBefore, nil},
+		"remove":          {2, 2, bifRemove, nil},
+		"index-of":        {2, 2, bifIndexOf, nil},
+
+		"zero-or-one":  {1, 1, bifZeroOrOne, nil},
+		"one-or-more":  {1, 1, bifOneOrMore, nil},
+		"exactly-one":  {1, 1, bifExactlyOne, nil},
+		"deep-equal":   {2, 2, bifDeepEqual, nil},
+		"name":         {0, 1, nil, bifName},
+		"local-name":   {0, 1, nil, bifLocalName},
+		"node-name":    {1, 1, bifNodeName, nil},
+		"root":         {0, 1, nil, bifRoot},
+		"last":         {0, 0, nil, bifLast},
+		"position":     {0, 0, nil, bifPosition},
+		"error":        {0, 2, bifError, nil},
+		"trace":        {2, 2, bifTrace, nil},
+		"string-value": {1, 1, bifStringValue, nil},
+
+		// xrpc: helper functions from §5 "Advanced Pushdown"
+		"xrpc:host": {1, 1, bifXrpcHost, nil},
+		"xrpc:path": {1, 1, bifXrpcPath, nil},
+	}
+}
+
+func bifDoc(ctx *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 {
+		return nil, nil
+	}
+	uri := args[0].StringJoin("")
+	if ctx.docs == nil {
+		return nil, xdm.NewError("FODC0002", "no document resolver")
+	}
+	doc, err := ctx.docs.Doc(uri)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(doc), nil
+}
+
+// bifPut is XQUF fn:put: registers a "put document" update primitive.
+func bifPut(ctx *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) != 1 {
+		return nil, xdm.NewError("XPTY0004", "fn:put requires a single node")
+	}
+	n, ok := args[0][0].(*xdm.Node)
+	if !ok {
+		return nil, xdm.NewError("XPTY0004", "fn:put requires a node")
+	}
+	uri := args[1].StringJoin("")
+	ctx.pul.Add(Primitive{Kind: PrimPut, PutURI: uri, Source: []*xdm.Node{n.Clone()}})
+	return nil, nil
+}
+
+func bifCount(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Integer(len(args[0]))), nil
+}
+
+func bifEmpty(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(len(args[0]) == 0)), nil
+}
+
+func bifExists(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(len(args[0]) > 0)), nil
+}
+
+func bifNot(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	b, err := xdm.EffectiveBoolean(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.Boolean(!b)), nil
+}
+
+func bifBoolean(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	b, err := xdm.EffectiveBoolean(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.Boolean(b)), nil
+}
+
+func bifTrue(_ *dynCtx, _ []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(true)), nil
+}
+
+func bifFalse(_ *dynCtx, _ []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(false)), nil
+}
+
+// zeroOrCtx evaluates the optional single argument, defaulting to the
+// context item.
+func zeroOrCtx(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	if len(args) == 1 {
+		return ctx.eval(args[0])
+	}
+	if ctx.item == nil {
+		return nil, xdm.NewError("XPDY0002", "context item is absent")
+	}
+	return xdm.Singleton(ctx.item), nil
+}
+
+func bifString(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	v, err := zeroOrCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(v) == 0 {
+		return xdm.Singleton(xdm.String("")), nil
+	}
+	if len(v) > 1 {
+		return nil, xdm.NewError("XPTY0004", "fn:string argument is not a singleton")
+	}
+	return xdm.Singleton(xdm.String(v[0].StringValue())), nil
+}
+
+func bifData(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Atomize(args[0]), nil
+}
+
+func bifNumber(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	v, err := zeroOrCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	v = xdm.Atomize(v)
+	if len(v) != 1 {
+		return xdm.Singleton(xdm.Double(math.NaN())), nil
+	}
+	f, ok := xdm.NumericValue(v[0])
+	if !ok {
+		cast, err := xdm.CastAtomic(v[0], "xs:double")
+		if err != nil {
+			return xdm.Singleton(xdm.Double(math.NaN())), nil
+		}
+		return xdm.Singleton(cast), nil
+	}
+	return xdm.Singleton(xdm.Double(f)), nil
+}
+
+func bifConcat(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	var sb strings.Builder
+	for _, a := range args {
+		if len(a) > 1 {
+			return nil, xdm.NewError("XPTY0004", "fn:concat argument is not a singleton")
+		}
+		if len(a) == 1 {
+			sb.WriteString(a[0].StringValue())
+		}
+	}
+	return xdm.Singleton(xdm.String(sb.String())), nil
+}
+
+func strArg(a xdm.Sequence) string {
+	if len(a) == 0 {
+		return ""
+	}
+	return a[0].StringValue()
+}
+
+func bifContains(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(strings.Contains(strArg(args[0]), strArg(args[1])))), nil
+}
+
+func bifStartsWith(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(strings.HasPrefix(strArg(args[0]), strArg(args[1])))), nil
+}
+
+func bifEndsWith(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(strings.HasSuffix(strArg(args[0]), strArg(args[1])))), nil
+}
+
+func bifSubstring(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s := []rune(strArg(args[0]))
+	startF, ok := xdm.NumericValue(firstOrNaN(args[1]))
+	if !ok {
+		return nil, xdm.NewError("XPTY0004", "fn:substring start is not numeric")
+	}
+	start := int(math.Round(startF))
+	length := len(s) - start + 1
+	if len(args) == 3 {
+		lenF, ok := xdm.NumericValue(firstOrNaN(args[2]))
+		if !ok {
+			return nil, xdm.NewError("XPTY0004", "fn:substring length is not numeric")
+		}
+		length = int(math.Round(lenF))
+	}
+	// spec: characters at positions p with p >= round(start) and
+	// p < round(start) + round(length); clamping lo must not shrink hi
+	lo := start - 1
+	hi := lo + length
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	if lo >= len(s) || hi <= lo {
+		return xdm.Singleton(xdm.String("")), nil
+	}
+	return xdm.Singleton(xdm.String(string(s[lo:hi]))), nil
+}
+
+func firstOrNaN(s xdm.Sequence) xdm.Item {
+	if len(s) == 0 {
+		return xdm.Double(math.NaN())
+	}
+	return s[0]
+}
+
+func bifSubstringBefore(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s, sub := strArg(args[0]), strArg(args[1])
+	if i := strings.Index(s, sub); i >= 0 {
+		return xdm.Singleton(xdm.String(s[:i])), nil
+	}
+	return xdm.Singleton(xdm.String("")), nil
+}
+
+func bifSubstringAfter(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s, sub := strArg(args[0]), strArg(args[1])
+	if i := strings.Index(s, sub); i >= 0 {
+		return xdm.Singleton(xdm.String(s[i+len(sub):])), nil
+	}
+	return xdm.Singleton(xdm.String("")), nil
+}
+
+func bifStringLength(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	v, err := zeroOrCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.Integer(len([]rune(strArg(v))))), nil
+}
+
+func bifStringJoin(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.String(args[0].StringJoin(strArg(args[1])))), nil
+}
+
+func bifUpperCase(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.String(strings.ToUpper(strArg(args[0])))), nil
+}
+
+func bifLowerCase(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.String(strings.ToLower(strArg(args[0])))), nil
+}
+
+func bifNormalizeSpace(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	v, err := zeroOrCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.String(strings.Join(strings.Fields(strArg(v)), " "))), nil
+}
+
+func bifTranslate(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s := []rune(strArg(args[0]))
+	from := []rune(strArg(args[1]))
+	to := []rune(strArg(args[2]))
+	var sb strings.Builder
+	for _, r := range s {
+		replaced := false
+		for i, f := range from {
+			if r == f {
+				if i < len(to) {
+					sb.WriteRune(to[i])
+				}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			sb.WriteRune(r)
+		}
+	}
+	return xdm.Singleton(xdm.String(sb.String())), nil
+}
+
+func bifTokenize(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s, sep := strArg(args[0]), strArg(args[1])
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, sep)
+	out := make(xdm.Sequence, len(parts))
+	for i, p := range parts {
+		out[i] = xdm.String(p)
+	}
+	return out, nil
+}
+
+func numericFold(args xdm.Sequence, init float64, f func(acc, v float64) float64) (float64, bool, error) {
+	acc := init
+	any := false
+	for _, it := range xdm.Atomize(args) {
+		v, ok := xdm.NumericValue(it)
+		if !ok {
+			return 0, false, xdm.Errorf("FORG0006", "non-numeric item %q in aggregate", it.StringValue())
+		}
+		if !any {
+			acc = v
+			any = true
+			continue
+		}
+		acc = f(acc, v)
+	}
+	return acc, any, nil
+}
+
+func bifSum(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	total := 0.0
+	allInt := true
+	for _, it := range xdm.Atomize(args[0]) {
+		v, ok := xdm.NumericValue(it)
+		if !ok {
+			return nil, xdm.Errorf("FORG0006", "non-numeric item in fn:sum")
+		}
+		if _, isInt := it.(xdm.Integer); !isInt {
+			allInt = false
+		}
+		total += v
+	}
+	if len(args[0]) == 0 {
+		if len(args) == 2 {
+			return args[1], nil
+		}
+		return xdm.Singleton(xdm.Integer(0)), nil
+	}
+	if allInt {
+		return xdm.Singleton(xdm.Integer(int64(total))), nil
+	}
+	return xdm.Singleton(xdm.Double(total)), nil
+}
+
+func bifAvg(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 {
+		return nil, nil
+	}
+	total, _, err := numericFold(args[0], 0, func(a, v float64) float64 { return a + v })
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.Double(total / float64(len(args[0])))), nil
+}
+
+func bifMin(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 {
+		return nil, nil
+	}
+	v, _, err := numericFold(args[0], math.Inf(1), math.Min)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.Double(v)), nil
+}
+
+func bifMax(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 {
+		return nil, nil
+	}
+	v, _, err := numericFold(args[0], math.Inf(-1), math.Max)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.Double(v)), nil
+}
+
+func numUnary(args []xdm.Sequence, f func(float64) float64) (xdm.Sequence, error) {
+	a := xdm.Atomize(args[0])
+	if len(a) == 0 {
+		return nil, nil
+	}
+	v, ok := xdm.NumericValue(a[0])
+	if !ok {
+		return nil, xdm.NewError("XPTY0004", "non-numeric argument")
+	}
+	res := f(v)
+	if n, isInt := a[0].(xdm.Integer); isInt {
+		_ = n
+		return xdm.Singleton(xdm.Integer(int64(res))), nil
+	}
+	return xdm.Singleton(xdm.Double(res)), nil
+}
+
+func bifAbs(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return numUnary(args, math.Abs)
+}
+
+func bifFloor(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return numUnary(args, math.Floor)
+}
+
+func bifCeiling(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return numUnary(args, math.Ceil)
+}
+
+func bifRound(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return numUnary(args, math.Round)
+}
+
+func bifDistinctValues(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	var out xdm.Sequence
+	for _, it := range xdm.Atomize(args[0]) {
+		dup := false
+		for _, seen := range out {
+			eq, err := xdm.CompareAtomic(it, seen, xdm.OpEq)
+			if err == nil && eq {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+func bifReverse(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	in := args[0]
+	out := make(xdm.Sequence, len(in))
+	for i, it := range in {
+		out[len(in)-1-i] = it
+	}
+	return out, nil
+}
+
+func bifSubsequence(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	in := args[0]
+	startF, _ := xdm.NumericValue(firstOrNaN(args[1]))
+	start := int(math.Round(startF))
+	end := len(in) + 1
+	if len(args) == 3 {
+		lenF, _ := xdm.NumericValue(firstOrNaN(args[2]))
+		end = start + int(math.Round(lenF))
+	}
+	var out xdm.Sequence
+	for i := 1; i <= len(in); i++ {
+		if i >= start && i < end {
+			out = append(out, in[i-1])
+		}
+	}
+	return out, nil
+}
+
+func bifInsertBefore(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	target, ins := args[0], args[2]
+	posF, _ := xdm.NumericValue(firstOrNaN(args[1]))
+	pos := int(posF)
+	if pos < 1 {
+		pos = 1
+	}
+	if pos > len(target)+1 {
+		pos = len(target) + 1
+	}
+	out := make(xdm.Sequence, 0, len(target)+len(ins))
+	out = append(out, target[:pos-1]...)
+	out = append(out, ins...)
+	out = append(out, target[pos-1:]...)
+	return out, nil
+}
+
+func bifRemove(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	in := args[0]
+	posF, _ := xdm.NumericValue(firstOrNaN(args[1]))
+	pos := int(posF)
+	if pos < 1 || pos > len(in) {
+		return in, nil
+	}
+	out := make(xdm.Sequence, 0, len(in)-1)
+	out = append(out, in[:pos-1]...)
+	out = append(out, in[pos:]...)
+	return out, nil
+}
+
+func bifIndexOf(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[1]) != 1 {
+		return nil, xdm.NewError("XPTY0004", "fn:index-of search value must be a singleton")
+	}
+	var out xdm.Sequence
+	for i, it := range xdm.Atomize(args[0]) {
+		eq, err := xdm.CompareAtomic(it, xdm.Atomize(args[1])[0], xdm.OpEq)
+		if err == nil && eq {
+			out = append(out, xdm.Integer(i+1))
+		}
+	}
+	return out, nil
+}
+
+func bifZeroOrOne(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) > 1 {
+		return nil, xdm.NewError("FORG0003", "fn:zero-or-one called with more than one item")
+	}
+	return args[0], nil
+}
+
+func bifOneOrMore(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 {
+		return nil, xdm.NewError("FORG0004", "fn:one-or-more called with empty sequence")
+	}
+	return args[0], nil
+}
+
+func bifExactlyOne(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) != 1 {
+		return nil, xdm.NewError("FORG0005", "fn:exactly-one called with a non-singleton")
+	}
+	return args[0], nil
+}
+
+func bifDeepEqual(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.Boolean(xdm.DeepEqual(args[0], args[1]))), nil
+}
+
+func nodeArgOrCtx(ctx *dynCtx, args []xq.Expr) (*xdm.Node, error) {
+	v, err := zeroOrCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(v) == 0 {
+		return nil, nil
+	}
+	n, ok := v[0].(*xdm.Node)
+	if !ok {
+		return nil, xdm.NewError("XPTY0004", "expected a node")
+	}
+	return n, nil
+}
+
+func bifName(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	n, err := nodeArgOrCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return xdm.Singleton(xdm.String("")), nil
+	}
+	return xdm.Singleton(xdm.String(n.Name)), nil
+}
+
+func bifLocalName(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	n, err := nodeArgOrCtx(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return xdm.Singleton(xdm.String("")), nil
+	}
+	name := n.Name
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[i+1:]
+	}
+	return xdm.Singleton(xdm.String(name)), nil
+}
+
+func bifNodeName(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 {
+		return nil, nil
+	}
+	n, ok := args[0][0].(*xdm.Node)
+	if !ok {
+		return nil, xdm.NewError("XPTY0004", "fn:node-name requires a node")
+	}
+	if n.Name == "" {
+		return nil, nil
+	}
+	return xdm.Singleton(xdm.String(n.Name)), nil
+}
+
+func bifRoot(ctx *dynCtx, args []xq.Expr) (xdm.Sequence, error) {
+	n, err := nodeArgOrCtx(ctx, args)
+	if err != nil || n == nil {
+		return nil, err
+	}
+	return xdm.Singleton(n.Root()), nil
+}
+
+func bifLast(ctx *dynCtx, _ []xq.Expr) (xdm.Sequence, error) {
+	if ctx.size == 0 {
+		return nil, xdm.NewError("XPDY0002", "fn:last outside a predicate")
+	}
+	return xdm.Singleton(xdm.Integer(ctx.size)), nil
+}
+
+func bifPosition(ctx *dynCtx, _ []xq.Expr) (xdm.Sequence, error) {
+	if ctx.pos == 0 {
+		return nil, xdm.NewError("XPDY0002", "fn:position outside a predicate")
+	}
+	return xdm.Singleton(xdm.Integer(ctx.pos)), nil
+}
+
+func bifError(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	code := "FOER0000"
+	msg := "error signalled by fn:error"
+	if len(args) >= 1 && len(args[0]) > 0 {
+		code = args[0].StringJoin("")
+	}
+	if len(args) >= 2 {
+		msg = args[1].StringJoin("")
+	}
+	return nil, xdm.NewError(code, msg)
+}
+
+func bifTrace(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return args[0], nil
+}
+
+func bifStringValue(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Singleton(xdm.String(args[0].StringJoin(""))), nil
+}
+
+// bifXrpcHost implements xrpc:host (§5): for xrpc:// URLs it returns the
+// xrpc://host[:port] prefix; otherwise "localhost".
+func bifXrpcHost(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	host, _ := SplitXrpcURL(strArg(args[0]))
+	return xdm.Singleton(xdm.String(host)), nil
+}
+
+// bifXrpcPath implements xrpc:path (§5): for xrpc:// URLs it returns the
+// path suffix; otherwise the argument unchanged.
+func bifXrpcPath(_ *dynCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	_, path := SplitXrpcURL(strArg(args[0]))
+	return xdm.Singleton(xdm.String(path)), nil
+}
+
+// SplitXrpcURL splits "xrpc://host[:port]/path" into the peer URI
+// ("xrpc://host[:port]") and the local document path. Non-xrpc URLs map
+// to ("localhost", url), the defaults given in §5.
+func SplitXrpcURL(url string) (host, path string) {
+	const scheme = "xrpc://"
+	if !strings.HasPrefix(url, scheme) {
+		return "localhost", url
+	}
+	rest := url[len(scheme):]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return scheme + rest[:i], rest[i+1:]
+	}
+	return url, ""
+}

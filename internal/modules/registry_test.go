@@ -1,0 +1,82 @@
+package modules
+
+import (
+	"strings"
+	"testing"
+)
+
+const filmModule = `
+module namespace film="films";
+declare function film:filmsByActor($actor as xs:string) as node()*
+{ doc("filmDB.xml")//name[../actor=$actor] };`
+
+func TestRegisterAndResolve(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(filmModule, "http://x.example.org/film.xq"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.ResolveModule("films", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ModuleURI != "films" {
+		t.Errorf("uri = %q", m.ModuleURI)
+	}
+	// by hint when URI unknown
+	m2, err := r.ResolveModule("unknown-uri", []string{"http://x.example.org/film.xq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Error("hint resolution returned a different module")
+	}
+	if _, err := r.ResolveModule("nope", []string{"nope.xq"}); err == nil {
+		t.Error("expected resolution failure")
+	}
+}
+
+func TestRegisterRejectsMainModule(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(`1 + 1`); err == nil {
+		t.Error("main module must be rejected")
+	}
+	if err := r.Register(`module namespace broken`); err == nil {
+		t.Error("syntax error must be rejected")
+	}
+}
+
+func TestSourceAndURIs(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(filmModule); err != nil {
+		t.Fatal(err)
+	}
+	src, ok := r.Source("films")
+	if !ok || !strings.Contains(src, "filmsByActor") {
+		t.Errorf("source = %q, %v", src, ok)
+	}
+	if _, ok := r.Source("nope"); ok {
+		t.Error("unexpected source")
+	}
+	uris := r.URIs()
+	if len(uris) != 1 || uris[0] != "films" {
+		t.Errorf("uris = %v", uris)
+	}
+}
+
+func TestReRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(filmModule); err != nil {
+		t.Fatal(err)
+	}
+	v2 := strings.Replace(filmModule, "filmsByActor", "byActor", 1)
+	if err := r.Register(v2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.ResolveModule("films", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Function("film:byActor", 1) == nil {
+		t.Error("re-registration did not replace the module")
+	}
+}

@@ -1,0 +1,119 @@
+// Package netsim simulates the network between XRPC peers. The paper's
+// experiments ran on two 2 GHz Athlon64 machines on 1 Gb/s Ethernet; this
+// package substitutes that testbed with an in-process network whose
+// round-trip latency and bandwidth are configurable, so the
+// latency-amortization effect of Bulk RPC (Table 2) and the
+// bandwidth-bound throughput regime (§3.3) are both observable on one
+// machine.
+//
+// The same Transport interface is implemented by a real HTTP transport in
+// the client package, so every experiment can also run over localhost
+// TCP.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler is a peer endpoint: it receives an XRPC (or WS-AT) message
+// body posted to a path and returns the response body.
+type Handler interface {
+	HandleXRPC(path string, body []byte) ([]byte, error)
+}
+
+// Transport delivers a message to a destination peer URI and returns the
+// response bytes. Implementations: *Network (simulated), client.HTTPTransport.
+type Transport interface {
+	Send(dest, path string, body []byte) ([]byte, error)
+}
+
+// Stats counts traffic through a network.
+type Stats struct {
+	Requests      atomic.Int64
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+}
+
+// Network is an in-process network connecting registered peers, with
+// simulated latency and bandwidth.
+type Network struct {
+	mu    sync.RWMutex
+	peers map[string]Handler
+
+	// RTT is the per-request round-trip latency (paper LAN: ~0.1-1ms;
+	// WAN: tens of ms). Applied once per Send.
+	RTT time.Duration
+	// Bandwidth in bytes/second; 0 means unlimited. Transfer time for
+	// request+response bytes is added to the delay.
+	Bandwidth float64
+	// Sleep is the delay function (replaceable in tests). Defaults to
+	// time.Sleep.
+	Sleep func(time.Duration)
+
+	Stats Stats
+}
+
+// NewNetwork creates a network with the given round-trip latency and
+// bandwidth (bytes/sec, 0 = unlimited).
+func NewNetwork(rtt time.Duration, bandwidth float64) *Network {
+	return &Network{
+		peers:     map[string]Handler{},
+		RTT:       rtt,
+		Bandwidth: bandwidth,
+		Sleep:     time.Sleep,
+	}
+}
+
+// Register attaches a peer handler under its URI (e.g.
+// "xrpc://y.example.org").
+func (n *Network) Register(uri string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[uri] = h
+}
+
+// Peer returns the handler registered under uri.
+func (n *Network) Peer(uri string) (Handler, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.peers[uri]
+	return h, ok
+}
+
+// Send implements Transport: it delivers the message to the registered
+// peer after the simulated network delay.
+func (n *Network) Send(dest, path string, body []byte) ([]byte, error) {
+	n.mu.RLock()
+	h, ok := n.peers[dest]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: no peer registered at %q", dest)
+	}
+	resp, err := h.HandleXRPC(path, body)
+	if err != nil {
+		return nil, err
+	}
+	delay := n.RTT
+	if n.Bandwidth > 0 {
+		transfer := float64(len(body)+len(resp)) / n.Bandwidth
+		delay += time.Duration(transfer * float64(time.Second))
+	}
+	if delay > 0 && n.Sleep != nil {
+		n.Sleep(delay)
+	}
+	n.Stats.Requests.Add(1)
+	n.Stats.BytesSent.Add(int64(len(body)))
+	n.Stats.BytesReceived.Add(int64(len(resp)))
+	return resp, nil
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(path string, body []byte) ([]byte, error)
+
+// HandleXRPC implements Handler.
+func (f HandlerFunc) HandleXRPC(path string, body []byte) ([]byte, error) {
+	return f(path, body)
+}

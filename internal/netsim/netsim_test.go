@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSendRoutesToRegisteredPeer(t *testing.T) {
+	net := NewNetwork(0, 0)
+	net.Register("xrpc://a", HandlerFunc(func(path string, body []byte) ([]byte, error) {
+		return append([]byte("echo:"), body...), nil
+	}))
+	resp, err := net.Send("xrpc://a", "/xrpc", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hi" {
+		t.Errorf("resp = %q", resp)
+	}
+	if _, err := net.Send("xrpc://unknown", "/xrpc", nil); err == nil {
+		t.Error("expected error for unregistered peer")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	net := NewNetwork(0, 0)
+	net.Register("xrpc://a", HandlerFunc(func(_ string, body []byte) ([]byte, error) {
+		return make([]byte, 10), nil
+	}))
+	for i := 0; i < 3; i++ {
+		if _, err := net.Send("xrpc://a", "/", make([]byte, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := net.Stats.Requests.Load(); got != 3 {
+		t.Errorf("requests = %d", got)
+	}
+	if got := net.Stats.BytesSent.Load(); got != 15 {
+		t.Errorf("sent = %d", got)
+	}
+	if got := net.Stats.BytesReceived.Load(); got != 30 {
+		t.Errorf("received = %d", got)
+	}
+}
+
+func TestLatencyAndBandwidthDelay(t *testing.T) {
+	net := NewNetwork(3*time.Millisecond, 1024*1024) // 1 MB/s
+	var slept time.Duration
+	net.Sleep = func(d time.Duration) { slept += d }
+	net.Register("xrpc://a", HandlerFunc(func(_ string, _ []byte) ([]byte, error) {
+		return make([]byte, 512*1024), nil // 0.5 MB response
+	}))
+	if _, err := net.Send("xrpc://a", "/", make([]byte, 512*1024)); err != nil {
+		t.Fatal(err)
+	}
+	// 3 ms RTT + 1 MB at 1 MB/s = ~1.003 s
+	want := 3*time.Millisecond + time.Second
+	if slept < want-50*time.Millisecond || slept > want+50*time.Millisecond {
+		t.Errorf("slept %v, want ≈%v", slept, want)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	net := NewNetwork(0, 0)
+	boom := errors.New("boom")
+	net.Register("xrpc://a", HandlerFunc(func(_ string, _ []byte) ([]byte, error) {
+		return nil, boom
+	}))
+	if _, err := net.Send("xrpc://a", "/", nil); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPeerLookup(t *testing.T) {
+	net := NewNetwork(0, 0)
+	h := HandlerFunc(func(_ string, _ []byte) ([]byte, error) { return nil, nil })
+	net.Register("xrpc://a", h)
+	if _, ok := net.Peer("xrpc://a"); !ok {
+		t.Error("peer not found")
+	}
+	if _, ok := net.Peer("xrpc://b"); ok {
+		t.Error("unexpected peer")
+	}
+}

@@ -1,0 +1,229 @@
+package pathfinder
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xrpc/internal/interp"
+	"xrpc/internal/xdm"
+)
+
+// qgen generates random queries from the subset both engines support.
+// Generated queries avoid runtime errors by construction (no division,
+// small integers, bound variables only).
+type qgen struct {
+	r     *rand.Rand
+	vars  []string
+	nvars int
+}
+
+func (g *qgen) pick(weights ...int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := g.r.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return 0
+}
+
+// expr produces an arbitrary expression (any sequence).
+func (g *qgen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.pick(3, 2, 2, 2, 2, 1, 1, 1, 2) {
+	case 0:
+		return g.atom()
+	case 1: // arithmetic
+		return fmt.Sprintf("(%s %s %s)", g.num(depth-1), []string{"+", "-", "*"}[g.r.Intn(3)], g.num(depth-1))
+	case 2: // sequence
+		return fmt.Sprintf("(%s, %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3: // range
+		lo := g.r.Intn(4)
+		return fmt.Sprintf("(%d to %d)", lo, lo+g.r.Intn(4))
+	case 4: // FLWOR
+		return g.flwor(depth - 1)
+	case 5: // if
+		return fmt.Sprintf("(if (%s) then %s else %s)", g.boolean(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 6: // aggregate
+		return fmt.Sprintf("%s(%s)", []string{"count", "sum"}[g.r.Intn(2)], g.numseq(depth-1))
+	case 7: // path over the film db
+		return g.path()
+	default: // string function
+		return fmt.Sprintf("concat(%s, %s)", g.str(depth-1), g.str(depth-1))
+	}
+}
+
+// num produces a singleton numeric expression.
+func (g *qgen) num(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if len(g.vars) > 0 && g.r.Intn(3) == 0 {
+			return "$" + g.vars[g.r.Intn(len(g.vars))]
+		}
+		return fmt.Sprintf("%d", g.r.Intn(7))
+	}
+	switch g.pick(3, 2, 1) {
+	case 0:
+		return fmt.Sprintf("(%s %s %s)", g.num(depth-1), []string{"+", "-", "*"}[g.r.Intn(3)], g.num(depth-1))
+	case 1:
+		return fmt.Sprintf("count(%s)", g.expr(depth-1))
+	default:
+		return fmt.Sprintf("sum(%s)", g.numseq(depth-1))
+	}
+}
+
+// numseq produces a sequence of numbers.
+func (g *qgen) numseq(depth int) string {
+	if depth <= 0 {
+		return fmt.Sprintf("(%d, %d)", g.r.Intn(5), g.r.Intn(5))
+	}
+	switch g.pick(2, 2, 1) {
+	case 0:
+		lo := g.r.Intn(3)
+		return fmt.Sprintf("(%d to %d)", lo, lo+g.r.Intn(4))
+	case 1:
+		return fmt.Sprintf("(%s, %s)", g.num(depth-1), g.numseq(depth-1))
+	default:
+		in := g.numseq(depth - 1)
+		v := g.freshVar()
+		inner := fmt.Sprintf("for $%s in %s return $%s * 2", v, in, v)
+		g.dropVar()
+		return "(" + inner + ")"
+	}
+}
+
+// str produces a singleton string expression.
+func (g *qgen) str(depth int) string {
+	words := []string{`"a"`, `"bc"`, `"xy z"`, `""`}
+	if depth <= 0 || g.r.Intn(2) == 0 {
+		return words[g.r.Intn(len(words))]
+	}
+	return fmt.Sprintf("concat(%s, %s)", g.str(depth-1), g.str(depth-1))
+}
+
+// boolean produces a boolean expression.
+func (g *qgen) boolean(depth int) string {
+	if depth <= 0 {
+		return []string{"true()", "false()", "1 < 2", "2 eq 3"}[g.r.Intn(4)]
+	}
+	switch g.pick(3, 2, 2, 1) {
+	case 0:
+		op := []string{"=", "<", "<=", ">", "!="}[g.r.Intn(5)]
+		return fmt.Sprintf("(%s %s %s)", g.num(depth-1), op, g.num(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s %s %s)", g.boolean(depth-1), []string{"and", "or"}[g.r.Intn(2)], g.boolean(depth-1))
+	case 2:
+		return fmt.Sprintf("%s(%s)", []string{"exists", "empty", "not"}[g.r.Intn(3)], g.expr(depth-1))
+	default:
+		in := g.numseq(depth - 1)
+		v := g.freshVar()
+		out := fmt.Sprintf("(some $%s in %s satisfies $%s > 1)", v, in, v)
+		g.dropVar()
+		return out
+	}
+}
+
+func (g *qgen) flwor(depth int) string {
+	in := g.numseq(depth) // generate before binding: $v not in scope here
+	v := g.freshVar()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(for $%s in %s ", v, in)
+	if g.r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "where %s ", g.boolean(depth))
+	}
+	fmt.Fprintf(&sb, "return %s)", g.expr(depth))
+	g.dropVar()
+	return sb.String()
+}
+
+func (g *qgen) atom() string {
+	switch g.pick(3, 2, 1, 1) {
+	case 0:
+		if len(g.vars) > 0 && g.r.Intn(2) == 0 {
+			return "$" + g.vars[g.r.Intn(len(g.vars))]
+		}
+		return fmt.Sprintf("%d", g.r.Intn(9))
+	case 1:
+		return []string{`"s"`, `"t u"`, "3.5", "()"}[g.r.Intn(4)]
+	case 2:
+		return "true()"
+	default:
+		return g.path()
+	}
+}
+
+func (g *qgen) path() string {
+	paths := []string{
+		`doc("filmDB.xml")//film/name`,
+		`doc("filmDB.xml")//actor`,
+		`count(doc("filmDB.xml")//film)`,
+		`doc("filmDB.xml")/films/film[1]/name`,
+		`doc("filmDB.xml")//name[../actor="Sean Connery"]`,
+		`string((doc("filmDB.xml")//actor)[1])`,
+	}
+	return paths[g.r.Intn(len(paths))]
+}
+
+func (g *qgen) freshVar() string {
+	g.nvars++
+	v := fmt.Sprintf("v%d", g.nvars)
+	g.vars = append(g.vars, v)
+	return v
+}
+
+func (g *qgen) dropVar() {
+	g.vars = g.vars[:len(g.vars)-1]
+}
+
+// TestDifferentialEngines generates hundreds of random queries and
+// requires the loop-lifting engine and the interpreter to agree on every
+// one of them (same result or both erroring).
+func TestDifferentialEngines(t *testing.T) {
+	f := newFixture(t)
+	refEngine := interp.New(f.st, f.reg, nil)
+	const n = 400
+	skipped := 0
+	for seed := 0; seed < n; seed++ {
+		g := &qgen{r: rand.New(rand.NewSource(int64(seed)))}
+		query := g.expr(4)
+
+		pfc, pfErr := Compile(query, f.reg)
+		var pfSeq xdm.Sequence
+		if pfErr == nil {
+			pfSeq, pfErr = pfc.Eval(&ExecCtx{Docs: f.st}, nil)
+		}
+		if pfErr != nil && strings.Contains(pfErr.Error(), "not supported") {
+			skipped++
+			continue
+		}
+		ic, iErr := refEngine.Compile(query)
+		var iSeq xdm.Sequence
+		if iErr == nil {
+			iSeq, _, iErr = ic.Eval(nil)
+		}
+		switch {
+		case pfErr == nil && iErr == nil:
+			got, want := xdm.SerializeSequence(pfSeq), xdm.SerializeSequence(iSeq)
+			if got != want {
+				t.Fatalf("seed %d: engines disagree\nquery: %s\npathfinder: %s\ninterp:     %s",
+					seed, query, got, want)
+			}
+		case pfErr != nil && iErr != nil:
+			// both reject: fine
+		default:
+			t.Fatalf("seed %d: one engine errored\nquery: %s\npathfinder err: %v\ninterp err:     %v",
+				seed, query, pfErr, iErr)
+		}
+	}
+	if skipped > n/4 {
+		t.Errorf("too many generated queries unsupported by pathfinder: %d/%d", skipped, n)
+	}
+}

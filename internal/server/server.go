@@ -1,0 +1,395 @@
+// Package server implements the XRPC request handler of §3: an HTTP/SOAP
+// endpoint that decodes Bulk RPC requests, executes the requested module
+// function for every call, and returns the results. It contains the
+// function cache (prepared query plans, §3.3), the isolation manager for
+// repeatable-read queryIDs (§2.2), deferred pending-update-list handling
+// (rule R'_Fu), and the WS-AtomicTransaction participant verbs
+// Prepare/Commit/Abort (§2.3).
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"xrpc/internal/interp"
+	"xrpc/internal/modules"
+	"xrpc/internal/soap"
+	"xrpc/internal/store"
+	"xrpc/internal/xdm"
+)
+
+// WSATModule is the reserved module URI for WS-AtomicTransaction verbs.
+const WSATModule = "urn:wsat"
+
+// SystemModule mirrors client.SystemModule (kept separate to avoid an
+// import cycle).
+const SystemModule = "urn:xrpc-system"
+
+// Executor runs all calls of one decoded request against a document
+// resolver, returning one result sequence per call, the merged pending
+// update list, and phase timings.
+type Executor interface {
+	Execute(req *soap.Request, raw []byte, docs interp.DocResolver, rpc interp.RPCCaller) ([]xdm.Sequence, *interp.UpdateList, *interp.Stats, error)
+}
+
+// RPCFactory builds a per-request RPC caller for nested execute-at calls
+// performed while serving a request; it also reports which peers were
+// contacted (for the participating-peers piggyback). A nil factory
+// disables nested calls.
+type RPCFactory func(qid *soap.QueryID) (rpc interp.RPCCaller, peers func() []string)
+
+// Server is one XRPC peer endpoint.
+type Server struct {
+	Store    *store.Store
+	Registry *modules.Registry
+	Exec     Executor
+	// NewRPC creates nested-call clients (may be nil).
+	NewRPC RPCFactory
+	// Self is this peer's URI, echoed in fault diagnostics.
+	Self string
+	// Now is the clock (replaceable in tests).
+	Now func() time.Time
+
+	iso isoManager
+
+	mu sync.Mutex
+	// ServedRequests counts handled XRPC requests (experiments).
+	ServedRequests int64
+	// ServedCalls counts executed function applications.
+	ServedCalls int64
+	// HandleTime accumulates wall-clock time spent inside the handler
+	// (the per-peer time columns of Table 4).
+	HandleTime time.Duration
+	// LastStats holds the execution phases of the most recent request
+	// (Table 3 instrumentation).
+	LastStats interp.Stats
+}
+
+// ResetStats zeroes the request counters and timers.
+func (s *Server) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ServedRequests, s.ServedCalls, s.HandleTime = 0, 0, 0
+	s.LastStats = interp.Stats{}
+}
+
+// New creates a server over a store and module registry using the given
+// executor.
+func New(st *store.Store, reg *modules.Registry, exec Executor) *Server {
+	s := &Server{Store: st, Registry: reg, Exec: exec, Now: time.Now}
+	s.iso.now = func() time.Time { return s.Now() }
+	return s
+}
+
+// HandleXRPC implements netsim.Handler: it decodes one message, executes
+// it, and encodes the response; any error becomes a SOAP Fault ("any
+// error will cause a run-time error at the site that originated the
+// query").
+func (s *Server) HandleXRPC(path string, body []byte) ([]byte, error) {
+	start := s.Now()
+	defer func() {
+		d := time.Since(start)
+		s.mu.Lock()
+		s.HandleTime += d
+		s.mu.Unlock()
+	}()
+	resp, err := s.handle(body)
+	if err != nil {
+		code := "env:Receiver"
+		if _, isXQ := err.(*xdm.Error); isXQ {
+			code = "env:Sender"
+		}
+		return soap.EncodeFault(&soap.Fault{Code: code, Reason: err.Error()}), nil
+	}
+	return resp, nil
+}
+
+// ServeHTTP exposes the handler over real HTTP (POST /xrpc).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "XRPC requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, _ := s.HandleXRPC(r.URL.Path, body)
+	w.Header().Set("Content-Type", "application/soap+xml; charset=utf-8")
+	w.Write(resp)
+}
+
+func (s *Server) handle(body []byte) ([]byte, error) {
+	req, err := soap.DecodeRequest(body)
+	if err != nil {
+		return nil, xdm.Errorf("XRPC0003", "malformed request: %v", err)
+	}
+	s.mu.Lock()
+	s.ServedRequests++
+	s.ServedCalls += int64(len(req.Calls))
+	s.mu.Unlock()
+
+	switch req.Module {
+	case WSATModule:
+		return s.handleWSAT(req)
+	case SystemModule:
+		return s.handleSystem(req)
+	}
+
+	// pick the database state: latest (rule R_Fr) or the queryID's
+	// pinned snapshot (rule R'_Fr)
+	var docs interp.DocResolver = s.Store
+	var entry *isoEntry
+	if req.QueryID != nil {
+		entry, err = s.iso.entryFor(req.QueryID, s.Store)
+		if err != nil {
+			return nil, err
+		}
+		docs = entry.snap
+	}
+
+	var rpc interp.RPCCaller
+	peers := func() []string { return nil }
+	if s.NewRPC != nil {
+		rpc, peers = s.NewRPC(req.QueryID)
+	}
+
+	results, pul, stats, err := s.Exec.Execute(req, body, docs, rpc)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		s.mu.Lock()
+		s.LastStats = *stats
+		s.mu.Unlock()
+	}
+	if !pul.Empty() {
+		if entry != nil {
+			// deferred: accumulate ∆ per query, applied at Commit (R'_Fu)
+			entry.addPUL(pul)
+		} else {
+			// immediate application (R_Fu)
+			if err := interp.ApplyUpdates(s.Store, pul); err != nil {
+				return nil, err
+			}
+		}
+	}
+	resp := &soap.Response{
+		Module:  req.Module,
+		Method:  req.Method,
+		Results: results,
+		Peers:   peers(),
+	}
+	return soap.EncodeResponse(resp), nil
+}
+
+// handleSystem serves the reserved system calls (getDocument for data
+// shipping).
+func (s *Server) handleSystem(req *soap.Request) ([]byte, error) {
+	var docs interp.DocResolver = s.Store
+	if req.QueryID != nil {
+		entry, err := s.iso.entryFor(req.QueryID, s.Store)
+		if err != nil {
+			return nil, err
+		}
+		docs = entry.snap
+	}
+	switch req.Method {
+	case "getDocument":
+		var results []xdm.Sequence
+		for _, call := range req.Calls {
+			if len(call) != 1 || len(call[0]) != 1 {
+				return nil, xdm.NewError("XRPC0004", "getDocument takes one string")
+			}
+			doc, err := docs.Doc(call[0][0].StringValue())
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, xdm.Singleton(doc))
+		}
+		return soap.EncodeResponse(&soap.Response{
+			Module: req.Module, Method: req.Method, Results: results,
+		}), nil
+	case "listDocuments":
+		names := s.Store.Names()
+		seq := make(xdm.Sequence, len(names))
+		for i, n := range names {
+			seq[i] = xdm.String(n)
+		}
+		return soap.EncodeResponse(&soap.Response{
+			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
+		}), nil
+	default:
+		return nil, xdm.Errorf("XRPC0004", "unknown system method %q", req.Method)
+	}
+}
+
+// handleWSAT serves the WS-AtomicTransaction participant interface.
+func (s *Server) handleWSAT(req *soap.Request) ([]byte, error) {
+	if req.QueryID == nil {
+		return nil, xdm.NewError("XRPC0005", "WS-AT verb without queryID")
+	}
+	var result xdm.Sequence
+	var err error
+	switch req.Method {
+	case "Prepare":
+		err = s.iso.prepare(req.QueryID.ID)
+		result = xdm.Singleton(xdm.String("prepared"))
+	case "Commit":
+		err = s.iso.commit(req.QueryID.ID, s.Store)
+		result = xdm.Singleton(xdm.String("committed"))
+	case "Abort":
+		s.iso.abort(req.QueryID.ID)
+		result = xdm.Singleton(xdm.String("aborted"))
+	default:
+		return nil, xdm.Errorf("XRPC0005", "unknown WS-AT method %q", req.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return soap.EncodeResponse(&soap.Response{
+		Module: WSATModule, Method: req.Method,
+		Results: []xdm.Sequence{result},
+	}), nil
+}
+
+// IsolatedQueries reports how many queryIDs currently hold pinned
+// snapshots (observability for tests/experiments).
+func (s *Server) IsolatedQueries() int { return s.iso.count() }
+
+// PrepareLog returns the logged pending-update descriptions (the stable
+// log written by Prepare).
+func (s *Server) PrepareLog() []string { return s.iso.prepareLog() }
+
+// ------------------------------------------------------------ isolation
+
+// isoEntry pins the database state db(t_q) and accumulates the pending
+// update lists ∆_q for one queryID.
+type isoEntry struct {
+	qid      soap.QueryID
+	snap     *store.Snapshot
+	pul      *interp.UpdateList
+	expires  time.Time
+	prepared bool
+
+	mu sync.Mutex
+}
+
+func (e *isoEntry) addPUL(pul *interp.UpdateList) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pul.Merge(pul)
+}
+
+// isoManager tracks active isolated queries and remembers expired
+// queryIDs so late requests get errors (§2.2: "the local XRPC handler
+// should still remember expired queryIDs"). Per host only the latest
+// expired timestamp is retained.
+type isoManager struct {
+	mu            sync.Mutex
+	entries       map[string]*isoEntry
+	expiredByHost map[string]time.Time
+	log           []string
+	now           func() time.Time
+}
+
+func (m *isoManager) entryFor(qid *soap.QueryID, st *store.Store) (*isoEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = map[string]*isoEntry{}
+		m.expiredByHost = map[string]time.Time{}
+	}
+	m.gcLocked()
+	if e, ok := m.entries[qid.ID]; ok {
+		return e, nil
+	}
+	// a request whose originating timestamp is not newer than the last
+	// expired timestamp from that host arrived too late
+	if last, seen := m.expiredByHost[qid.Host]; seen && !qid.Timestamp.After(last) {
+		return nil, xdm.Errorf("XRPC0006", "queryID %s expired (host %s)", qid.ID, qid.Host)
+	}
+	timeout := qid.Timeout
+	if timeout <= 0 {
+		timeout = 30
+	}
+	e := &isoEntry{
+		qid:     *qid,
+		snap:    st.Snapshot(),
+		pul:     &interp.UpdateList{},
+		expires: m.now().Add(time.Duration(timeout) * time.Second),
+	}
+	m.entries[qid.ID] = e
+	return e, nil
+}
+
+func (m *isoManager) gcLocked() {
+	now := m.now()
+	for id, e := range m.entries {
+		if e.prepared || !now.After(e.expires) {
+			continue
+		}
+		if last, ok := m.expiredByHost[e.qid.Host]; !ok || e.qid.Timestamp.After(last) {
+			m.expiredByHost[e.qid.Host] = e.qid.Timestamp
+		}
+		delete(m.entries, id)
+	}
+}
+
+func (m *isoManager) get(id string) (*isoEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	return e, ok
+}
+
+// prepare brings the query into prepared state and logs its pending
+// update list to the (simulated) stable log.
+func (m *isoManager) prepare(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok {
+		return xdm.Errorf("XRPC0006", "Prepare: unknown or expired queryID %s", id)
+	}
+	e.prepared = true
+	m.log = append(m.log, fmt.Sprintf("PREPARE %s\n%s", id, e.pul.Describe()))
+	return nil
+}
+
+// commit applies the accumulated pending update lists, creating new
+// database state (rule at the end of §2.3).
+func (m *isoManager) commit(id string, st *store.Store) error {
+	m.mu.Lock()
+	e, ok := m.entries[id]
+	delete(m.entries, id)
+	m.mu.Unlock()
+	if !ok {
+		return xdm.Errorf("XRPC0006", "Commit: unknown queryID %s", id)
+	}
+	return interp.ApplyUpdates(st, e.pul)
+}
+
+func (m *isoManager) abort(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, id)
+}
+
+func (m *isoManager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+func (m *isoManager) prepareLog() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.log))
+	copy(out, m.log)
+	return out
+}

@@ -1,0 +1,659 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xrpc/internal/client"
+	"xrpc/internal/interp"
+	"xrpc/internal/modules"
+	"xrpc/internal/netsim"
+	"xrpc/internal/soap"
+	"xrpc/internal/store"
+	"xrpc/internal/xdm"
+)
+
+const filmDBY = `<films>
+<film><name>The Rock</name><actor>Sean Connery</actor></film>
+<film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+<film><name>Green Card</name><actor>Gerard Depardieu</actor></film>
+</films>`
+
+const filmDBZ = `<films>
+<film><name>Sound Of Music</name><actor>Julie Andrews</actor></film>
+</films>`
+
+const filmModule = `
+module namespace film="films";
+declare function film:filmsByActor($actor as xs:string) as node()*
+{ doc("filmDB.xml")//name[../actor=$actor] };`
+
+const updModule = `
+module namespace u="upd";
+declare updating function u:addFilm($name as xs:string, $actor as xs:string)
+{ insert node <film><name>{$name}</name><actor>{$actor}</actor></film> into doc("filmDB.xml")/films };`
+
+const testModule = `
+module namespace tst="test";
+declare function tst:echoVoid() { () };
+declare function tst:echo($x as item()*) as item()* { $x };`
+
+// peer bundles one XRPC peer: store, registry, engine, server.
+type peer struct {
+	uri    string
+	store  *store.Store
+	reg    *modules.Registry
+	engine *interp.Engine
+	server *Server
+	exec   *NativeExecutor
+}
+
+func newPeer(t *testing.T, uri, filmXML string, net *netsim.Network) *peer {
+	t.Helper()
+	st := store.New()
+	if filmXML != "" {
+		if err := st.LoadXML("filmDB.xml", filmXML); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := modules.NewRegistry()
+	for _, m := range []string{filmModule, updModule, testModule} {
+		if err := reg.Register(m, "http://x.example.org/film.xq"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := interp.New(st, reg, nil)
+	exec := NewNativeExecutor(eng, reg)
+	srv := New(st, reg, exec)
+	srv.Self = uri
+	srv.NewRPC = func(qid *soap.QueryID) (interp.RPCCaller, func() []string) {
+		cl := client.New(net)
+		cl.QueryID = qid
+		return cl, cl.Peers
+	}
+	net.Register(uri, srv)
+	return &peer{uri: uri, store: st, reg: reg, engine: eng, server: srv, exec: exec}
+}
+
+// newCluster wires the paper's three-peer topology: the local peer plus
+// y and z.
+func newCluster(t *testing.T) (*netsim.Network, *peer, *peer, *peer) {
+	t.Helper()
+	net := netsim.NewNetwork(0, 0)
+	local := newPeer(t, "xrpc://local", filmDBY, net)
+	y := newPeer(t, "xrpc://y.example.org", filmDBY, net)
+	z := newPeer(t, "xrpc://z.example.org", filmDBZ, net)
+	return net, local, y, z
+}
+
+func evalOn(t *testing.T, p *peer, net *netsim.Network, query string) xdm.Sequence {
+	t.Helper()
+	cl := client.New(net)
+	eng := interp.New(p.store, p.reg, cl)
+	c, err := eng.Compile(query)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	seq, _, err := c.Eval(nil)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return seq
+}
+
+// Q1 from the paper: one remote call, expected result from §2.
+func TestQ1SingleRemoteCall(t *testing.T) {
+	net, local, _, _ := newCluster(t)
+	seq := evalOn(t, local, net, `
+import module namespace f="films" at "http://x.example.org/film.xq";
+<films> {
+  execute at {"xrpc://y.example.org"}
+  {f:filmsByActor("Sean Connery")}
+} </films>`)
+	got := xdm.SerializeSequence(seq)
+	want := "<films><name>The Rock</name><name>Goldfinger</name></films>"
+	if got != want {
+		t.Errorf("Q1 = %s, want %s", got, want)
+	}
+}
+
+// Q2: two calls to the same peer from a for-loop.
+func TestQ2LoopSameDest(t *testing.T) {
+	net, local, y, _ := newCluster(t)
+	seq := evalOn(t, local, net, `
+import module namespace f="films" at "http://x.example.org/film.xq";
+<films> {
+  for $actor in ("Julie Andrews", "Sean Connery")
+  let $dst := "xrpc://y.example.org"
+  return execute at {$dst} {f:filmsByActor($actor)}
+} </films>`)
+	got := xdm.SerializeSequence(seq)
+	want := "<films><name>The Rock</name><name>Goldfinger</name></films>"
+	if got != want {
+		t.Errorf("Q2 = %s, want %s", got, want)
+	}
+	// interpreter does one-at-a-time RPC: 2 requests served by y
+	if y.server.ServedRequests != 2 {
+		t.Errorf("y served %d requests, want 2 (one-at-a-time)", y.server.ServedRequests)
+	}
+}
+
+// Q3: multiple calls to multiple peers.
+func TestQ3MultiDest(t *testing.T) {
+	net, local, _, _ := newCluster(t)
+	seq := evalOn(t, local, net, `
+import module namespace f="films" at "http://x.example.org/film.xq";
+<films> {
+  for $actor in ("Julie Andrews", "Sean Connery")
+  for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+  return execute at {$dst} {f:filmsByActor($actor)}
+} </films>`)
+	got := xdm.SerializeSequence(seq)
+	// y has no Julie Andrews films; z has Sound Of Music; order follows
+	// the query's nested loops
+	want := "<films><name>Sound Of Music</name><name>The Rock</name><name>Goldfinger</name></films>"
+	if got != want {
+		t.Errorf("Q3 = %s, want %s", got, want)
+	}
+}
+
+func TestRemoteCallWithNodeResultIsByValue(t *testing.T) {
+	net, local, _, _ := newCluster(t)
+	seq := evalOn(t, local, net, `
+import module namespace f="films" at "http://x.example.org/film.xq";
+execute at {"xrpc://y.example.org"} {f:filmsByActor("Sean Connery")}`)
+	if len(seq) != 2 {
+		t.Fatalf("got %d items", len(seq))
+	}
+	n := seq[0].(*xdm.Node)
+	if n.Parent != nil {
+		t.Error("remote node result must be a parentless fragment (call-by-value)")
+	}
+	// upward navigation yields empty
+	up := xdm.Step(n, xdm.AxisParent, xdm.NodeTest{KindTest: true, AnyKind: true})
+	if len(up) != 0 {
+		t.Error("parent axis on shipped node must be empty")
+	}
+}
+
+func TestEchoRoundTripsAllTypes(t *testing.T) {
+	net, local, _, _ := newCluster(t)
+	seq := evalOn(t, local, net, `
+import module namespace tst="test" at "http://x.example.org/film.xq";
+execute at {"xrpc://y.example.org"} {tst:echo((1, "two", 3.5, true(), <n a="1">x</n>))}`)
+	if len(seq) != 5 {
+		t.Fatalf("echo returned %d items: %s", len(seq), xdm.SerializeSequence(seq))
+	}
+	if _, ok := seq[0].(xdm.Integer); !ok {
+		t.Errorf("item 0 type = %T", seq[0])
+	}
+	if _, ok := seq[3].(xdm.Boolean); !ok {
+		t.Errorf("item 3 type = %T", seq[3])
+	}
+	if n, ok := seq[4].(*xdm.Node); !ok || n.Name != "n" {
+		t.Errorf("item 4 = %v", seq[4])
+	}
+}
+
+func TestUnknownModuleFaults(t *testing.T) {
+	net, _, _, _ := newCluster(t)
+	cl := client.New(net)
+	_, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "no-such-module", Func: "f", Arity: 0,
+		Calls: [][]xdm.Sequence{{}},
+	})
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	f, ok := err.(*soap.Fault)
+	if !ok {
+		t.Fatalf("error type = %T: %v", err, err)
+	}
+	if !strings.Contains(f.Reason, "could not load module") {
+		t.Errorf("fault reason = %q", f.Reason)
+	}
+}
+
+func TestUnknownFunctionFaults(t *testing.T) {
+	net, _, _, _ := newCluster(t)
+	cl := client.New(net)
+	_, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "films", Func: "noSuchFunction", Arity: 0,
+		Calls: [][]xdm.Sequence{{}},
+	})
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+}
+
+func TestBulkRequestSingleRoundTrip(t *testing.T) {
+	net, _, y, _ := newCluster(t)
+	cl := client.New(net)
+	calls := make([][]xdm.Sequence, 100)
+	for i := range calls {
+		calls[i] = []xdm.Sequence{{xdm.String("Sean Connery")}}
+	}
+	res, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1, Calls: calls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 100 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i, seq := range res {
+		if len(seq) != 2 {
+			t.Fatalf("call %d returned %d films", i, len(seq))
+		}
+	}
+	// the whole bulk was one network request
+	if y.server.ServedRequests != 1 {
+		t.Errorf("y served %d requests, want 1 (bulk)", y.server.ServedRequests)
+	}
+	if y.server.ServedCalls != 100 {
+		t.Errorf("y served %d calls, want 100", y.server.ServedCalls)
+	}
+}
+
+func TestFunctionCacheCounters(t *testing.T) {
+	net, _, y, _ := newCluster(t)
+	cl := client.New(net)
+	br := &client.BulkRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1,
+		Calls: [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.CallBulk("xrpc://y.example.org", br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if y.exec.CacheMisses != 1 || y.exec.CacheHits != 4 {
+		t.Errorf("cache hits=%d misses=%d, want 4/1", y.exec.CacheHits, y.exec.CacheMisses)
+	}
+	// disable cache: every request recompiles
+	y.exec.CacheEnabled = false
+	y.exec.InvalidateCache()
+	y.exec.CacheHits, y.exec.CacheMisses = 0, 0
+	for i := 0; i < 3; i++ {
+		if _, err := cl.CallBulk("xrpc://y.example.org", br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if y.exec.CacheMisses != 3 {
+		t.Errorf("no-cache misses = %d, want 3", y.exec.CacheMisses)
+	}
+}
+
+// Rule R_Fu: updating call without queryID applies immediately.
+func TestUpdateImmediateApplication(t *testing.T) {
+	net, _, y, _ := newCluster(t)
+	cl := client.New(net)
+	_, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "upd", Func: "addFilm", Arity: 2, Updating: true,
+		Calls: [][]xdm.Sequence{{{xdm.String("New Film")}, {xdm.String("Nobody")}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := y.store.Get("filmDB.xml")
+	films := xdm.Step(doc.Children[0], xdm.AxisChild, xdm.NodeTest{Name: "film"})
+	if len(films) != 4 {
+		t.Errorf("films after update = %d, want 4", len(films))
+	}
+}
+
+// Rule R'_Fu + 2PC: with a queryID, updates are deferred until Commit.
+func TestUpdateDeferredUntilCommit(t *testing.T) {
+	net, _, y, _ := newCluster(t)
+	qid := &soap.QueryID{ID: "q-upd-1", Host: "xrpc://local", Timestamp: time.Now(), Timeout: 60}
+	cl := client.New(net)
+	cl.QueryID = qid
+	_, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "upd", Func: "addFilm", Arity: 2, Updating: true,
+		Calls: [][]xdm.Sequence{{{xdm.String("Deferred")}, {xdm.String("X")}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countFilms := func() int {
+		doc, _ := y.store.Get("filmDB.xml")
+		return len(xdm.Step(doc.Children[0], xdm.AxisChild, xdm.NodeTest{Name: "film"}))
+	}
+	if got := countFilms(); got != 3 {
+		t.Fatalf("update visible before commit: %d films", got)
+	}
+	// Prepare + Commit over WS-AT
+	wsat := func(method string) error {
+		_, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+			ModuleURI: WSATModule, Func: method, Arity: 0,
+			Calls: [][]xdm.Sequence{{}},
+		})
+		return err
+	}
+	if err := wsat("Prepare"); err != nil {
+		t.Fatal(err)
+	}
+	if len(y.server.PrepareLog()) != 1 {
+		t.Error("Prepare did not log the pending update list")
+	}
+	if err := wsat("Commit"); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFilms(); got != 4 {
+		t.Errorf("films after commit = %d, want 4", got)
+	}
+}
+
+func TestUpdateAbortDiscards(t *testing.T) {
+	net, _, y, _ := newCluster(t)
+	qid := &soap.QueryID{ID: "q-abort", Host: "xrpc://local", Timestamp: time.Now(), Timeout: 60}
+	cl := client.New(net)
+	cl.QueryID = qid
+	_, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "upd", Func: "addFilm", Arity: 2, Updating: true,
+		Calls: [][]xdm.Sequence{{{xdm.String("Doomed")}, {xdm.String("X")}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: WSATModule, Func: "Abort", Arity: 0,
+		Calls: [][]xdm.Sequence{{}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := y.store.Get("filmDB.xml")
+	films := xdm.Step(doc.Children[0], xdm.AxisChild, xdm.NodeTest{Name: "film"})
+	if len(films) != 3 {
+		t.Errorf("films after abort = %d, want 3", len(films))
+	}
+}
+
+// Repeatable read (rule R'_Fr): two requests with the same queryID see
+// the same database state even when another transaction commits between
+// them.
+func TestRepeatableReadIsolation(t *testing.T) {
+	net, _, _, _ := newCluster(t)
+	qid := &soap.QueryID{ID: "q-rr", Host: "xrpc://local", Timestamp: time.Now(), Timeout: 60}
+	cl := client.New(net)
+	cl.QueryID = qid
+	br := &client.BulkRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1,
+		Calls: [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+	}
+	res1, err := cl.CallBulk("xrpc://y.example.org", br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// concurrent transaction (no qid) adds a Connery film and commits
+	other := client.New(net)
+	if _, err := other.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "upd", Func: "addFilm", Arity: 2, Updating: true,
+		Calls: [][]xdm.Sequence{{{xdm.String("Dr. No")}, {xdm.String("Sean Connery")}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := cl.CallBulk("xrpc://y.example.org", br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1[0]) != 2 || len(res2[0]) != 2 {
+		t.Errorf("repeatable read violated: %d then %d films", len(res1[0]), len(res2[0]))
+	}
+	// a fresh query (different qid) sees the new state
+	fresh := client.New(net)
+	fresh.QueryID = &soap.QueryID{ID: "q-rr2", Host: "xrpc://local", Timestamp: time.Now(), Timeout: 60}
+	res3, err := fresh.CallBulk("xrpc://y.example.org", br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3[0]) != 3 {
+		t.Errorf("fresh query sees %d films, want 3", len(res3[0]))
+	}
+}
+
+// Without isolation (rule R_Fr), the second request sees the new state.
+func TestNoIsolationSeesLatestState(t *testing.T) {
+	net, _, _, _ := newCluster(t)
+	cl := client.New(net) // no queryID
+	br := &client.BulkRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1,
+		Calls: [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+	}
+	res1, _ := cl.CallBulk("xrpc://y.example.org", br)
+	other := client.New(net)
+	other.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "upd", Func: "addFilm", Arity: 2, Updating: true,
+		Calls: [][]xdm.Sequence{{{xdm.String("Dr. No")}, {xdm.String("Sean Connery")}}},
+	})
+	res2, _ := cl.CallBulk("xrpc://y.example.org", br)
+	if len(res1[0]) != 2 || len(res2[0]) != 3 {
+		t.Errorf("isolation none: %d then %d films, want 2 then 3", len(res1[0]), len(res2[0]))
+	}
+}
+
+func TestQueryIDExpiry(t *testing.T) {
+	net, _, y, _ := newCluster(t)
+	now := time.Now()
+	y.server.Now = func() time.Time { return now }
+	qid := &soap.QueryID{ID: "q-exp", Host: "xrpc://local", Timestamp: now, Timeout: 10}
+	cl := client.New(net)
+	cl.QueryID = qid
+	br := &client.BulkRequest{
+		ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+		Func: "filmsByActor", Arity: 1,
+		Calls: [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+	}
+	if _, err := cl.CallBulk("xrpc://y.example.org", br); err != nil {
+		t.Fatal(err)
+	}
+	if y.server.IsolatedQueries() != 1 {
+		t.Fatalf("isolated queries = %d", y.server.IsolatedQueries())
+	}
+	// clock advances past the timeout: the isolated state is discarded
+	// and the late request is rejected
+	now = now.Add(11 * time.Second)
+	if _, err := cl.CallBulk("xrpc://y.example.org", br); err == nil {
+		t.Error("late request with expired queryID must fault")
+	}
+	if y.server.IsolatedQueries() != 0 {
+		t.Errorf("expired entry not discarded: %d", y.server.IsolatedQueries())
+	}
+}
+
+func TestGetDocumentSystemCall(t *testing.T) {
+	net, _, _, _ := newCluster(t)
+	cl := client.New(net)
+	doc, err := cl.FetchDocument("xrpc://y.example.org", "filmDB.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	films := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "film"})
+	if len(films) != 3 {
+		t.Errorf("fetched doc has %d films", len(films))
+	}
+}
+
+func TestClientDocResolverDataShipping(t *testing.T) {
+	net, local, _, _ := newCluster(t)
+	cl := client.New(net)
+	resolver := &client.DocResolver{Local: local.store, Client: cl}
+	eng := interp.New(resolver, local.reg, cl)
+	c, err := eng.Compile(`count(doc("xrpc://y.example.org/filmDB.xml")//film)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := c.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xdm.SerializeSequence(seq); got != "3" {
+		t.Errorf("data-shipped count = %s", got)
+	}
+	// local docs still resolve locally
+	c2, _ := eng.Compile(`count(doc("filmDB.xml")//film)`)
+	seq2, _, err := c2.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xdm.SerializeSequence(seq2); got != "3" {
+		t.Errorf("local count = %s", got)
+	}
+}
+
+// Nested XRPC calls: local -> y -> z, with participating peers
+// piggybacked back to the originator.
+func TestNestedCallsPiggybackPeers(t *testing.T) {
+	net, local, yy, _ := newCluster(t)
+	y := yy
+	// a module on y that itself calls z
+	nested := `
+module namespace n="nested";
+import module namespace f="films" at "http://x.example.org/film.xq";
+declare function n:viaZ($actor as xs:string) as node()*
+{ execute at {"xrpc://z.example.org"} {f:filmsByActor($actor)} };`
+	if err := y.reg.Register(nested, "http://x.example.org/nested.xq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.reg.Register(nested, "http://x.example.org/nested.xq"); err != nil {
+		t.Fatal(err)
+	}
+	qid := &soap.QueryID{ID: "q-nest", Host: "xrpc://local", Timestamp: time.Now(), Timeout: 60}
+	cl := client.New(net)
+	cl.QueryID = qid
+	res, err := cl.CallBulk("xrpc://y.example.org", &client.BulkRequest{
+		ModuleURI: "nested", AtHint: "http://x.example.org/nested.xq",
+		Func: "viaZ", Arity: 1,
+		Calls: [][]xdm.Sequence{{{xdm.String("Julie Andrews")}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xdm.SerializeSequence(res[0]); got != "<name>Sound Of Music</name>" {
+		t.Errorf("nested result = %s", got)
+	}
+	peers := cl.Peers()
+	foundZ := false
+	for _, p := range peers {
+		if p == "xrpc://z.example.org" {
+			foundZ = true
+		}
+	}
+	if !foundZ {
+		t.Errorf("originator does not know about nested peer z: %v", peers)
+	}
+}
+
+func TestParallelMultiDestDispatch(t *testing.T) {
+	net, _, _, _ := newCluster(t)
+	cl := client.New(net)
+	mk := func(actor string) []xdm.Sequence { return []xdm.Sequence{{xdm.String(actor)}} }
+	parts := []*client.BulkByDest{
+		{
+			Dest: "xrpc://y.example.org",
+			Request: &client.BulkRequest{
+				ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+				Func: "filmsByActor", Arity: 1,
+				Calls: [][]xdm.Sequence{mk("Julie Andrews"), mk("Sean Connery")},
+			},
+			OrigIdx: []int{0, 2},
+		},
+		{
+			Dest: "xrpc://z.example.org",
+			Request: &client.BulkRequest{
+				ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+				Func: "filmsByActor", Arity: 1,
+				Calls: [][]xdm.Sequence{mk("Julie Andrews"), mk("Sean Connery")},
+			},
+			OrigIdx: []int{1, 3},
+		},
+	}
+	results, err := cl.CallParallel(parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// original iteration order: (JA,y)=0 films... wait y has no JA
+	if len(results[0]) != 0 { // Julie Andrews on y
+		t.Errorf("results[0] = %v", results[0])
+	}
+	if got := xdm.SerializeSequence(results[1]); got != "<name>Sound Of Music</name>" {
+		t.Errorf("results[1] = %s", got)
+	}
+	if len(results[2]) != 2 { // Sean Connery on y
+		t.Errorf("results[2] = %v", results[2])
+	}
+	if len(results[3]) != 0 { // Sean Connery on z
+		t.Errorf("results[3] = %v", results[3])
+	}
+}
+
+func TestHTTPServing(t *testing.T) {
+	// exercise ServeHTTP through a real round trip body
+	net, _, y, _ := newCluster(t)
+	_ = net
+	req := &soap.Request{
+		Module: "films", Method: "filmsByActor", Arity: 1,
+		Location: "http://x.example.org/film.xq",
+		Calls:    [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+	}
+	respBody, err := y.server.HandleXRPC(client.XRPCPath, soap.EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := soap.DecodeResponse(respBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || len(resp.Results[0]) != 2 {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+}
+
+// Call-by-fragment end to end: with the extension on, a function taking
+// an ancestor and a descendant node sees their relationship preserved.
+func TestByFragmentPreservesRelationshipsE2E(t *testing.T) {
+	net, local, y, _ := newCluster(t)
+	rel := `
+module namespace rel="rel";
+declare function rel:isInside($frag as node(), $n as node()) as xs:boolean
+{ exists($frag//name[. is $n]) };`
+	for _, p := range []*peer{local, y} {
+		if err := p.reg.Register(rel, "http://x.example.org/rel.xq"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := `
+import module namespace rel="rel" at "http://x.example.org/rel.xq";
+let $film := (doc("filmDB.xml")//film)[1]
+let $name := $film/name
+return execute at {"xrpc://y.example.org"} {rel:isInside($film, $name)}`
+
+	run := func(byFragment bool) string {
+		cl := client.New(net)
+		eng := interp.New(local.store, local.reg, cl)
+		eng.ByFragment = byFragment
+		c, err := eng.Compile(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, _, err := c.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return xdm.SerializeSequence(seq)
+	}
+	// plain call-by-value destroys the descendant relationship (§2.2)
+	if got := run(false); got != "false" {
+		t.Errorf("call-by-value: isInside = %s, want false", got)
+	}
+	// call-by-fragment preserves it (footnote 4 extension)
+	if got := run(true); got != "true" {
+		t.Errorf("call-by-fragment: isInside = %s, want true", got)
+	}
+}

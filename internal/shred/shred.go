@@ -1,0 +1,241 @@
+// Package shred implements the pre/size/level document encoding that
+// MonetDB/XQuery uses to store shredded XML (§3): every node gets a
+// preorder rank (pre), the count of its descendants (size), and its
+// depth (level). XPath axes become range scans on this encoding — the
+// "staircase" evaluation that makes the relational XQuery engine bulk:
+//
+//	descendants(p)  = { q | p < q ≤ p+size[p] }
+//	children(p)     = descendants with level[q] = level[p]+1
+//	parent(p)       = max { q | q < p, q+size[q] ≥ p }
+//
+// The shredded form keeps a pointer back to each *xdm.Node so results
+// can be materialized.
+package shred
+
+import (
+	"sort"
+
+	"xrpc/internal/xdm"
+)
+
+// Doc is a shredded document (or fragment).
+type Doc struct {
+	// parallel arrays indexed by pre rank
+	Kind  []xdm.NodeKind
+	Name  []string
+	Value []string
+	Size  []int
+	Level []int
+	Nodes []*xdm.Node
+
+	// Attrs maps owner pre -> attribute pre list; attributes live in the
+	// same arrays (their Size is 0 and Level is owner level+1).
+	Attrs map[int][]int
+
+	preOf map[*xdm.Node]int
+}
+
+// Shred encodes the tree rooted at root.
+func Shred(root *xdm.Node) *Doc {
+	d := &Doc{Attrs: map[int][]int{}, preOf: map[*xdm.Node]int{}}
+	d.walk(root, 0)
+	return d
+}
+
+// walk assigns pre ranks in document order; returns the subtree size
+// (number of descendants including attributes).
+func (d *Doc) walk(n *xdm.Node, level int) int {
+	pre := len(d.Kind)
+	d.Kind = append(d.Kind, n.Kind)
+	d.Name = append(d.Name, n.Name)
+	d.Value = append(d.Value, n.Value)
+	d.Size = append(d.Size, 0) // patched below
+	d.Level = append(d.Level, level)
+	d.Nodes = append(d.Nodes, n)
+	d.preOf[n] = pre
+	size := 0
+	for _, a := range n.Attrs {
+		apre := len(d.Kind)
+		d.Kind = append(d.Kind, xdm.AttributeNode)
+		d.Name = append(d.Name, a.Name)
+		d.Value = append(d.Value, a.Value)
+		d.Size = append(d.Size, 0)
+		d.Level = append(d.Level, level+1)
+		d.Nodes = append(d.Nodes, a)
+		d.preOf[a] = apre
+		d.Attrs[pre] = append(d.Attrs[pre], apre)
+		size++
+	}
+	for _, c := range n.Children {
+		size += 1 + d.walk(c, level+1)
+	}
+	d.Size[pre] = size
+	return size
+}
+
+// Len returns the number of encoded nodes.
+func (d *Doc) Len() int { return len(d.Kind) }
+
+// Pre returns the pre rank of a node (must belong to this doc).
+func (d *Doc) Pre(n *xdm.Node) (int, bool) {
+	p, ok := d.preOf[n]
+	return p, ok
+}
+
+// Node materializes the node at a pre rank.
+func (d *Doc) Node(pre int) *xdm.Node { return d.Nodes[pre] }
+
+// isAttr reports whether pre is an attribute row.
+func (d *Doc) isAttr(pre int) bool { return d.Kind[pre] == xdm.AttributeNode }
+
+// Descendants returns all descendant pre ranks of p matching the test
+// (excluding attributes), in document order — one staircase range scan.
+func (d *Doc) Descendants(p int, test xdm.NodeTest) []int {
+	var out []int
+	end := p + d.Size[p]
+	for q := p + 1; q <= end; q++ {
+		if d.isAttr(q) {
+			continue
+		}
+		if d.matches(q, test, xdm.AxisDescendant) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Children returns child pre ranks of p matching the test: the
+// descendants one level down, skipped over by size.
+func (d *Doc) Children(p int, test xdm.NodeTest) []int {
+	var out []int
+	end := p + d.Size[p]
+	q := p + 1
+	// skip attribute rows of p itself
+	for q <= end && d.isAttr(q) && d.Level[q] == d.Level[p]+1 {
+		q++
+	}
+	for q <= end {
+		if d.matches(q, test, xdm.AxisChild) {
+			out = append(out, q)
+		}
+		q += d.Size[q] + 1 // hop over the whole subtree
+	}
+	return out
+}
+
+// Attributes returns attribute pre ranks of p matching the test.
+func (d *Doc) Attributes(p int, test xdm.NodeTest) []int {
+	var out []int
+	for _, a := range d.Attrs[p] {
+		if test.Matches(d.Nodes[a], xdm.AxisAttribute) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Parent returns the parent pre rank of p (-1 at the root): the nearest
+// preceding node whose region covers p.
+func (d *Doc) Parent(p int) int {
+	if d.isAttr(p) {
+		// scan back to the owner element
+		for q := p - 1; q >= 0; q-- {
+			if !d.isAttr(q) {
+				return q
+			}
+		}
+		return -1
+	}
+	for q := p - 1; q >= 0; q-- {
+		if !d.isAttr(q) && q+d.Size[q] >= p {
+			return q
+		}
+	}
+	return -1
+}
+
+// Step evaluates one axis step from each context pre rank, returning
+// matching pre ranks in document order with duplicates removed.
+func (d *Doc) Step(ctx []int, axis xdm.Axis, test xdm.NodeTest) []int {
+	var out []int
+	// a single context node cannot produce duplicates on these axes, so
+	// skip the dedup map on the (very common) singleton fast path
+	var seen map[int]bool
+	if len(ctx) > 1 {
+		seen = make(map[int]bool, 8)
+	}
+	add := func(q int) {
+		if seen != nil {
+			if seen[q] {
+				return
+			}
+			seen[q] = true
+		}
+		out = append(out, q)
+	}
+	for _, p := range ctx {
+		switch axis {
+		case xdm.AxisChild:
+			for _, q := range d.Children(p, test) {
+				add(q)
+			}
+		case xdm.AxisDescendant:
+			for _, q := range d.Descendants(p, test) {
+				add(q)
+			}
+		case xdm.AxisDescendantOrSelf:
+			if d.matches(p, test, axis) {
+				add(p)
+			}
+			for _, q := range d.Descendants(p, test) {
+				add(q)
+			}
+		case xdm.AxisAttribute:
+			for _, q := range d.Attributes(p, test) {
+				add(q)
+			}
+		case xdm.AxisSelf:
+			if d.matches(p, test, axis) {
+				add(p)
+			}
+		case xdm.AxisParent:
+			if q := d.Parent(p); q >= 0 && d.matches(q, test, axis) {
+				add(q)
+			}
+		default:
+			// remaining axes fall back to the tree walker
+			for _, n := range xdm.Step(d.Nodes[p], axis, test) {
+				if q, ok := d.preOf[n]; ok {
+					add(q)
+				}
+			}
+		}
+	}
+	// pre ranks are document order; out was appended per-context so sort
+	sortInts(out)
+	return out
+}
+
+func (d *Doc) matches(q int, test xdm.NodeTest, axis xdm.Axis) bool {
+	return test.Matches(d.Nodes[q], axis)
+}
+
+// StringValue returns the node string value at pre (concatenated text
+// for elements/documents via the region scan).
+func (d *Doc) StringValue(pre int) string {
+	switch d.Kind[pre] {
+	case xdm.ElementNode, xdm.DocumentNode:
+		var out []byte
+		end := pre + d.Size[pre]
+		for q := pre + 1; q <= end; q++ {
+			if d.Kind[q] == xdm.TextNode {
+				out = append(out, d.Value[q]...)
+			}
+		}
+		return string(out)
+	default:
+		return d.Value[pre]
+	}
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,200 @@
+package shred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xrpc/internal/xdm"
+)
+
+const sample = `<films>
+<film id="f1"><name>The Rock</name><actor>Sean Connery</actor></film>
+<film id="f2"><name>Goldfinger</name><actor>Sean Connery</actor></film>
+</films>`
+
+func shredSample(t *testing.T) (*Doc, *xdm.Node) {
+	t.Helper()
+	doc, err := xdm.ParseDocument("f.xml", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Shred(doc), doc
+}
+
+func TestPreSizeLevelInvariants(t *testing.T) {
+	d, _ := shredSample(t)
+	// pre 0 is the document node covering everything
+	if d.Kind[0] != xdm.DocumentNode {
+		t.Fatalf("pre 0 kind = %v", d.Kind[0])
+	}
+	if d.Size[0] != d.Len()-1 {
+		t.Errorf("root size = %d, want %d", d.Size[0], d.Len()-1)
+	}
+	for p := 0; p < d.Len(); p++ {
+		// region containment: p + size[p] < len
+		if p+d.Size[p] >= d.Len()+1 {
+			t.Errorf("pre %d region out of bounds", p)
+		}
+		// children regions nest strictly inside the parent region
+		if q := d.Parent(p); p > 0 {
+			if q < 0 {
+				t.Errorf("pre %d has no parent", p)
+				continue
+			}
+			if !(q < p && p+d.Size[p] <= q+d.Size[q]) {
+				t.Errorf("pre %d not inside parent %d region", p, q)
+			}
+			if !d.isAttrTest(p) && d.Level[p] != d.Level[q]+1 {
+				t.Errorf("pre %d level %d, parent level %d", p, d.Level[p], d.Level[q])
+			}
+		}
+	}
+}
+
+func (d *Doc) isAttrTest(p int) bool { return d.Kind[p] == xdm.AttributeNode }
+
+func TestStepsMatchTreeWalker(t *testing.T) {
+	d, doc := shredSample(t)
+	// every axis result from the shredded encoding must equal the tree
+	// walker's result
+	axes := []xdm.Axis{
+		xdm.AxisChild, xdm.AxisDescendant, xdm.AxisDescendantOrSelf,
+		xdm.AxisSelf, xdm.AxisParent, xdm.AxisAttribute,
+	}
+	tests := []xdm.NodeTest{
+		{Name: "*"},
+		{Name: "film"},
+		{Name: "name"},
+		{KindTest: true, AnyKind: true},
+		{KindTest: true, Kind: xdm.TextNode},
+	}
+	var ctxNodes []*xdm.Node
+	ctxNodes = append(ctxNodes, doc)
+	ctxNodes = append(ctxNodes, xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{KindTest: true, AnyKind: true})...)
+	for _, ctx := range ctxNodes {
+		pre, ok := d.Pre(ctx)
+		if !ok {
+			t.Fatalf("node %v not in shred", ctx)
+		}
+		for _, axis := range axes {
+			for _, test := range tests {
+				want := xdm.Step(ctx, axis, test)
+				gotPres := d.Step([]int{pre}, axis, test)
+				if len(gotPres) != len(want) {
+					t.Errorf("axis %v test %+v at pre %d: %d nodes, want %d",
+						axis, test, pre, len(gotPres), len(want))
+					continue
+				}
+				for i, q := range gotPres {
+					if d.Node(q) != want[i] {
+						t.Errorf("axis %v at pre %d: node %d mismatch", axis, pre, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStringValue(t *testing.T) {
+	d, doc := shredSample(t)
+	film := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "film"})[0]
+	pre, _ := d.Pre(film)
+	if got := d.StringValue(pre); got != "The RockSean Connery" {
+		t.Errorf("string value = %q", got)
+	}
+	name := xdm.Step(film, xdm.AxisChild, xdm.NodeTest{Name: "name"})[0]
+	npre, _ := d.Pre(name)
+	if got := d.StringValue(npre); got != "The Rock" {
+		t.Errorf("name value = %q", got)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	d, doc := shredSample(t)
+	films := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "film"})
+	pre, _ := d.Pre(films[1])
+	attrs := d.Attributes(pre, xdm.NodeTest{Name: "id"})
+	if len(attrs) != 1 {
+		t.Fatalf("attrs = %d", len(attrs))
+	}
+	if d.Value[attrs[0]] != "f2" {
+		t.Errorf("@id = %q", d.Value[attrs[0]])
+	}
+	// attribute's parent is the owner element
+	if d.Parent(attrs[0]) != pre {
+		t.Errorf("attr parent = %d, want %d", d.Parent(attrs[0]), pre)
+	}
+}
+
+func TestMultiContextStepDedup(t *testing.T) {
+	d, doc := shredSample(t)
+	films := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "film"})
+	p1, _ := d.Pre(films[0])
+	p2, _ := d.Pre(films[1])
+	// descendant-or-self from both film nodes plus the root: text nodes
+	// must come out once each, in document order
+	rootPre, _ := d.Pre(doc)
+	out := d.Step([]int{rootPre, p1, p2}, xdm.AxisDescendant, xdm.NodeTest{KindTest: true, Kind: xdm.TextNode})
+	wantCount := len(xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{KindTest: true, Kind: xdm.TextNode}))
+	if len(out) != wantCount {
+		t.Errorf("dedup'd step = %d nodes, want %d", len(out), wantCount)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= out[i] {
+			t.Error("step result not in document order")
+		}
+	}
+}
+
+// Property: for random small trees, shredded child/descendant steps
+// agree with the tree walker.
+func TestQuickShredAgreesWithWalker(t *testing.T) {
+	f := func(shape []uint8) bool {
+		// build a random tree: each byte adds a node under a previous one
+		root := xdm.NewElement("r")
+		nodes := []*xdm.Node{root}
+		elems := []*xdm.Node{root}
+		for i, b := range shape {
+			if len(nodes) > 40 {
+				break
+			}
+			parent := elems[int(b)%len(elems)]
+			var child *xdm.Node
+			if i%3 == 0 {
+				child = xdm.NewText("t")
+			} else {
+				child = xdm.NewElement("e")
+				elems = append(elems, child)
+			}
+			parent.AppendChild(child)
+			nodes = append(nodes, child)
+		}
+		root.Seal()
+		d := Shred(root)
+		for _, n := range nodes {
+			if n.Kind != xdm.ElementNode {
+				continue
+			}
+			pre, ok := d.Pre(n)
+			if !ok {
+				return false
+			}
+			for _, axis := range []xdm.Axis{xdm.AxisChild, xdm.AxisDescendant, xdm.AxisParent} {
+				want := xdm.Step(n, axis, xdm.NodeTest{KindTest: true, AnyKind: true})
+				got := d.Step([]int{pre}, axis, xdm.NodeTest{KindTest: true, AnyKind: true})
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if d.Node(got[i]) != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

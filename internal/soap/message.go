@@ -1,0 +1,557 @@
+// Package soap implements the SOAP XRPC message format of §2.1 of the
+// paper: request/response envelopes, the s2n/n2s parameter marshaling
+// sub-format (document/literal style, distinct from SOAP RPC's
+// rpc/encoded), Bulk RPC (multiple <xrpc:call> elements per request,
+// §3.2), the queryID isolation extension (§2.2), the participating-peers
+// piggyback used by distributed commit (§2.3), and SOAP Fault errors.
+package soap
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xrpc/internal/xdm"
+)
+
+// Namespace URIs used in XRPC envelopes.
+const (
+	NSEnv  = "http://www.w3.org/2003/05/soap-envelope"
+	NSXRPC = "http://monetdb.cwi.nl/XQuery"
+	NSXS   = "http://www.w3.org/2001/XMLSchema"
+	NSXSI  = "http://www.w3.org/2001/XMLSchema-instance"
+	// SchemaLoc is the xsi:schemaLocation advertised in envelopes.
+	SchemaLoc = "http://monetdb.cwi.nl/XQuery http://monetdb.cwi.nl/XQuery/XRPC.xsd"
+)
+
+// QueryID identifies the query a request belongs to, for repeatable-read
+// isolation (§2.2 "SOAP XRPC Extension: Isolation"). Host and Timestamp
+// say where and when the query started; Timeout is the number of seconds
+// the isolated database state must be conserved (relative, to tolerate
+// clock skew between peers).
+type QueryID struct {
+	ID        string
+	Host      string
+	Timestamp time.Time
+	Timeout   int
+}
+
+// Request is one SOAP XRPC request: possibly many calls (Bulk RPC) of
+// the same function.
+type Request struct {
+	Module   string // module namespace URI
+	Method   string // function local name
+	Arity    int
+	Location string // at-hint location of the module
+	Updating bool   // calls an XQUF updating function
+	QueryID  *QueryID
+	// Calls holds the actual parameters: Calls[i][j] is parameter j of
+	// call i. len(Calls[i]) == Arity for every i.
+	Calls [][]xdm.Sequence
+	// ByFragment enables the call-by-fragment protocol extension
+	// (paper footnote 4): node parameters that are descendants of other
+	// node parameters travel as xrpc:nodeid references, preserving
+	// ancestor/descendant relationships at the remote peer and
+	// compressing the message.
+	ByFragment bool
+	// SeqNrs optionally tags each call with its original query position
+	// (the deterministic-update-order extension of [35]); len must equal
+	// len(Calls) when non-nil. Bulk RPC executes calls out of query
+	// order, but pending updates tagged this way apply in query order.
+	SeqNrs []int64
+}
+
+// Response is a SOAP XRPC response: one result sequence per call, plus
+// the piggybacked list of peers that participated in handling the
+// request tree (used by the WS-Coordination registration, §2.3).
+type Response struct {
+	Module  string
+	Method  string
+	Results []xdm.Sequence
+	Peers   []string
+}
+
+// Fault is a SOAP Fault message; it doubles as the Go error type for
+// remote failures ("any error will cause a run-time error at the site
+// that originated the query").
+type Fault struct {
+	Code   string // "env:Sender" or "env:Receiver"
+	Reason string
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return "xrpc fault (" + f.Code + "): " + f.Reason }
+
+// ------------------------------------------------------------- encoding
+
+func envelopeOpen(b *strings.Builder) {
+	b.WriteString(`<?xml version="1.0" encoding="utf-8"?>` + "\n")
+	b.WriteString(`<env:Envelope xmlns:xrpc="` + NSXRPC + `"` + "\n")
+	b.WriteString(` xmlns:env="` + NSEnv + `"` + "\n")
+	b.WriteString(` xmlns:xs="` + NSXS + `"` + "\n")
+	b.WriteString(` xmlns:xsi="` + NSXSI + `"` + "\n")
+	b.WriteString(` xsi:schemaLocation="` + SchemaLoc + `">` + "\n")
+	b.WriteString("<env:Body>\n")
+}
+
+func envelopeClose(b *strings.Builder) {
+	b.WriteString("</env:Body>\n</env:Envelope>\n")
+}
+
+// EncodeRequest renders the request as a SOAP XRPC message.
+func EncodeRequest(r *Request) []byte {
+	var b strings.Builder
+	envelopeOpen(&b)
+	fmt.Fprintf(&b, `<xrpc:request xrpc:module=%q xrpc:method=%q xrpc:arity="%d" xrpc:location=%q`,
+		r.Module, r.Method, r.Arity, r.Location)
+	if r.Updating {
+		b.WriteString(` xrpc:updCall="true"`)
+	}
+	b.WriteString(">\n")
+	if r.QueryID != nil {
+		fmt.Fprintf(&b, `<xrpc:queryID xrpc:host=%q xrpc:timestamp=%q xrpc:timeout="%d">%s</xrpc:queryID>`+"\n",
+			r.QueryID.Host, r.QueryID.Timestamp.UTC().Format(time.RFC3339Nano),
+			r.QueryID.Timeout, escape(r.QueryID.ID))
+	}
+	for ci, call := range r.Calls {
+		if r.SeqNrs != nil {
+			fmt.Fprintf(&b, `<xrpc:call xrpc:seqNr="%d">`+"\n", r.SeqNrs[ci])
+		} else {
+			b.WriteString("<xrpc:call>\n")
+		}
+		var refs [][]*NodeRef
+		if r.ByFragment {
+			refs, _ = CompressCall(call)
+		}
+		for pi, param := range call {
+			if refs == nil {
+				writeSequence(&b, param)
+				continue
+			}
+			b.WriteString("<xrpc:sequence>")
+			for ii, it := range param {
+				writeItemRef(&b, it, refs[pi][ii])
+			}
+			b.WriteString("</xrpc:sequence>\n")
+		}
+		b.WriteString("</xrpc:call>\n")
+	}
+	b.WriteString("</xrpc:request>\n")
+	envelopeClose(&b)
+	return []byte(b.String())
+}
+
+// EncodeResponse renders the response message.
+func EncodeResponse(r *Response) []byte {
+	var b strings.Builder
+	envelopeOpen(&b)
+	fmt.Fprintf(&b, `<xrpc:response xrpc:module=%q xrpc:method=%q>`+"\n", r.Module, r.Method)
+	for _, seq := range r.Results {
+		writeSequence(&b, seq)
+	}
+	if len(r.Peers) > 0 {
+		b.WriteString("<xrpc:participatingPeers>\n")
+		for _, p := range r.Peers {
+			fmt.Fprintf(&b, `<xrpc:peer uri=%q/>`+"\n", p)
+		}
+		b.WriteString("</xrpc:participatingPeers>\n")
+	}
+	b.WriteString("</xrpc:response>\n")
+	envelopeClose(&b)
+	return []byte(b.String())
+}
+
+// EncodeFault renders a SOAP Fault message.
+func EncodeFault(f *Fault) []byte {
+	var b strings.Builder
+	envelopeOpen(&b)
+	b.WriteString("<env:Fault>\n<env:Code><env:Value>")
+	b.WriteString(escape(f.Code))
+	b.WriteString("</env:Value></env:Code>\n<env:Reason>\n")
+	b.WriteString(`<env:Text xml:lang="en">`)
+	b.WriteString(escape(f.Reason))
+	b.WriteString("</env:Text>\n</env:Reason>\n</env:Fault>\n")
+	envelopeClose(&b)
+	return []byte(b.String())
+}
+
+// WriteSequence exposes the s2n marshaling (sequence -> <xrpc:sequence>
+// XML) for the XRPC wrapper's generated queries.
+func WriteSequence(b *strings.Builder, seq xdm.Sequence) { writeSequence(b, seq) }
+
+// SequenceToNode is s2n producing an XDM tree directly (no text
+// round-trip): a fresh <xrpc:sequence> element whose children wrap each
+// item per the XRPC schema. Node items are deep-copied (call-by-value).
+func SequenceToNode(seq xdm.Sequence) *xdm.Node {
+	root := xdm.NewElement("xrpc:sequence")
+	for _, it := range seq {
+		switch v := it.(type) {
+		case *xdm.Node:
+			switch v.Kind {
+			case xdm.ElementNode:
+				wrap := xdm.NewElement("xrpc:element")
+				wrap.AppendChild(v.Clone())
+				root.AppendChild(wrap)
+			case xdm.DocumentNode:
+				wrap := xdm.NewElement("xrpc:document")
+				for _, c := range v.Children {
+					wrap.AppendChild(c.Clone())
+				}
+				root.AppendChild(wrap)
+			case xdm.AttributeNode:
+				wrap := xdm.NewElement("xrpc:attribute")
+				wrap.SetAttr(xdm.NewAttribute(v.Name, v.Value))
+				root.AppendChild(wrap)
+			case xdm.TextNode:
+				wrap := xdm.NewElement("xrpc:text")
+				wrap.AppendChild(xdm.NewText(v.Value))
+				root.AppendChild(wrap)
+			case xdm.CommentNode:
+				wrap := xdm.NewElement("xrpc:comment")
+				wrap.AppendChild(xdm.NewText(v.Value))
+				root.AppendChild(wrap)
+			case xdm.PINode:
+				wrap := xdm.NewElement("xrpc:pi")
+				wrap.SetAttr(xdm.NewAttribute("xrpc:target", v.Name))
+				wrap.AppendChild(xdm.NewText(v.Value))
+				root.AppendChild(wrap)
+			}
+		default:
+			wrap := xdm.NewElement("xrpc:atomic-value")
+			wrap.SetAttr(xdm.NewAttribute("xsi:type", it.TypeName()))
+			if s := it.StringValue(); s != "" {
+				wrap.AppendChild(xdm.NewText(s))
+			}
+			root.AppendChild(wrap)
+		}
+	}
+	root.Seal()
+	return root
+}
+
+// writeSequence is s2n (§2.2): the SOAP representation of an XDM
+// sequence.
+func writeSequence(b *strings.Builder, seq xdm.Sequence) {
+	b.WriteString("<xrpc:sequence>")
+	for _, it := range seq {
+		writeItem(b, it)
+	}
+	b.WriteString("</xrpc:sequence>\n")
+}
+
+func writeItem(b *strings.Builder, it xdm.Item) {
+	switch v := it.(type) {
+	case *xdm.Node:
+		switch v.Kind {
+		case xdm.ElementNode:
+			b.WriteString("<xrpc:element>")
+			b.WriteString(xdm.SerializeNode(v))
+			b.WriteString("</xrpc:element>")
+		case xdm.DocumentNode:
+			b.WriteString("<xrpc:document>")
+			b.WriteString(xdm.SerializeNode(v))
+			b.WriteString("</xrpc:document>")
+		case xdm.AttributeNode:
+			// serialized inside the wrapper: <xrpc:attribute x="y"/>
+			fmt.Fprintf(b, `<xrpc:attribute %s=%q/>`, v.Name, v.Value)
+		case xdm.TextNode:
+			b.WriteString("<xrpc:text>")
+			b.WriteString(escape(v.Value))
+			b.WriteString("</xrpc:text>")
+		case xdm.CommentNode:
+			b.WriteString("<xrpc:comment>")
+			b.WriteString(escape(v.Value))
+			b.WriteString("</xrpc:comment>")
+		case xdm.PINode:
+			fmt.Fprintf(b, `<xrpc:pi xrpc:target=%q>`, v.Name)
+			b.WriteString(escape(v.Value))
+			b.WriteString("</xrpc:pi>")
+		}
+	default:
+		fmt.Fprintf(b, `<xrpc:atomic-value xsi:type=%q>`, it.TypeName())
+		b.WriteString(escape(it.StringValue()))
+		b.WriteString("</xrpc:atomic-value>")
+	}
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------- decoding
+
+// Message is the decoded form of any XRPC envelope body.
+type Message struct {
+	Request  *Request
+	Response *Response
+	Fault    *Fault
+}
+
+// Decode parses a SOAP XRPC message of any kind.
+func Decode(data []byte) (*Message, error) {
+	doc, err := xdm.ParseDocument("soap-message", string(data))
+	if err != nil {
+		return nil, fmt.Errorf("soap: malformed envelope: %w", err)
+	}
+	env := firstChildLocal(doc, "Envelope")
+	if env == nil {
+		return nil, fmt.Errorf("soap: missing Envelope")
+	}
+	body := firstChildLocal(env, "Body")
+	if body == nil {
+		return nil, fmt.Errorf("soap: missing Body")
+	}
+	if f := firstChildLocal(body, "Fault"); f != nil {
+		return &Message{Fault: decodeFault(f)}, nil
+	}
+	if rq := firstChildLocal(body, "request"); rq != nil {
+		req, err := decodeRequest(rq)
+		if err != nil {
+			return nil, err
+		}
+		return &Message{Request: req}, nil
+	}
+	if rs := firstChildLocal(body, "response"); rs != nil {
+		resp, err := decodeResponse(rs)
+		if err != nil {
+			return nil, err
+		}
+		return &Message{Response: resp}, nil
+	}
+	return nil, fmt.Errorf("soap: body contains no request, response or fault")
+}
+
+// DecodeRequest parses and requires a request message.
+func DecodeRequest(data []byte) (*Request, error) {
+	m, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Request == nil {
+		return nil, fmt.Errorf("soap: message is not a request")
+	}
+	return m.Request, nil
+}
+
+// DecodeResponse parses a response message, converting faults into *Fault
+// errors.
+func DecodeResponse(data []byte) (*Response, error) {
+	m, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Fault != nil {
+		return nil, m.Fault
+	}
+	if m.Response == nil {
+		return nil, fmt.Errorf("soap: message is not a response")
+	}
+	return m.Response, nil
+}
+
+func decodeRequest(rq *xdm.Node) (*Request, error) {
+	req := &Request{
+		Module:   attrLocal(rq, "module"),
+		Method:   attrLocal(rq, "method"),
+		Location: attrLocal(rq, "location"),
+		Updating: attrLocal(rq, "updCall") == "true",
+	}
+	fmt.Sscanf(attrLocal(rq, "arity"), "%d", &req.Arity)
+	if q := firstChildLocal(rq, "queryID"); q != nil {
+		qid := &QueryID{
+			ID:   q.StringValue(),
+			Host: attrLocal(q, "host"),
+		}
+		if ts, err := time.Parse(time.RFC3339Nano, attrLocal(q, "timestamp")); err == nil {
+			qid.Timestamp = ts
+		}
+		fmt.Sscanf(attrLocal(q, "timeout"), "%d", &qid.Timeout)
+		req.QueryID = qid
+	}
+	for _, c := range rq.ChildElements() {
+		if localName(c.Name) != "call" {
+			continue
+		}
+		var params []xdm.Sequence
+		for _, s := range c.ChildElements() {
+			if localName(s.Name) != "sequence" {
+				continue
+			}
+			seq, err := DecodeSequence(s)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, seq)
+		}
+		if req.Arity > 0 && len(params) != req.Arity {
+			return nil, fmt.Errorf("soap: call has %d parameters, arity is %d", len(params), req.Arity)
+		}
+		if err := ResolveNodeRefs(params); err != nil {
+			return nil, err
+		}
+		if sn := attrLocal(c, "seqNr"); sn != "" {
+			var v int64
+			fmt.Sscanf(sn, "%d", &v)
+			// pad earlier untagged calls with their index
+			for len(req.SeqNrs) < len(req.Calls) {
+				req.SeqNrs = append(req.SeqNrs, int64(len(req.SeqNrs)))
+			}
+			req.SeqNrs = append(req.SeqNrs, v)
+		}
+		req.Calls = append(req.Calls, params)
+	}
+	if req.SeqNrs != nil {
+		for len(req.SeqNrs) < len(req.Calls) {
+			req.SeqNrs = append(req.SeqNrs, int64(len(req.SeqNrs)))
+		}
+	}
+	return req, nil
+}
+
+func decodeResponse(rs *xdm.Node) (*Response, error) {
+	resp := &Response{
+		Module: attrLocal(rs, "module"),
+		Method: attrLocal(rs, "method"),
+	}
+	for _, c := range rs.ChildElements() {
+		switch localName(c.Name) {
+		case "sequence":
+			seq, err := DecodeSequence(c)
+			if err != nil {
+				return nil, err
+			}
+			resp.Results = append(resp.Results, seq)
+		case "participatingPeers":
+			for _, p := range c.ChildElements() {
+				if uri, ok := p.Attr("uri"); ok {
+					resp.Peers = append(resp.Peers, uri)
+				}
+			}
+		}
+	}
+	return resp, nil
+}
+
+func decodeFault(f *xdm.Node) *Fault {
+	fault := &Fault{Code: "env:Receiver"}
+	if code := firstChildLocal(f, "Code"); code != nil {
+		if v := firstChildLocal(code, "Value"); v != nil {
+			fault.Code = strings.TrimSpace(v.StringValue())
+		}
+	}
+	if reason := firstChildLocal(f, "Reason"); reason != nil {
+		fault.Reason = strings.TrimSpace(reason.StringValue())
+	}
+	return fault
+}
+
+// DecodeSequence is n2s (§2.2): converts an <xrpc:sequence> element back
+// into an XDM sequence. Node-typed values come out as fresh XML
+// fragments: navigating upwards or sideways from them yields empty
+// results, which is exactly the call-by-value guarantee the formal
+// semantics requires (a decoded node must never expose the SOAP envelope
+// or sibling parameters).
+func DecodeSequence(seqEl *xdm.Node) (xdm.Sequence, error) {
+	var out xdm.Sequence
+	for _, v := range seqEl.ChildElements() {
+		switch localName(v.Name) {
+		case "atomic-value":
+			typ, _ := v.Attr("xsi:type")
+			if typ == "" {
+				typ = "xs:untypedAtomic"
+			}
+			item, err := xdm.CastAtomic(xdm.String(v.StringValue()), typ)
+			if err != nil {
+				return nil, fmt.Errorf("soap: bad atomic value %q as %s: %w", v.StringValue(), typ, err)
+			}
+			out = append(out, item)
+		case "element":
+			if ref := attrLocal(v, "nodeid"); ref != "" && len(v.ChildElements()) == 0 {
+				// call-by-fragment placeholder, resolved after all
+				// parameters of the call are decoded
+				ph := xdm.NewElement(nodeRefPlaceholder)
+				ph.Value = ref
+				out = append(out, ph)
+				continue
+			}
+			for _, c := range v.ChildElements() {
+				fresh := c.Clone()
+				out = append(out, fresh)
+			}
+		case "document":
+			doc := xdm.NewDocument("")
+			for _, c := range v.Children {
+				doc.AppendChild(c.Clone())
+			}
+			doc.Seal()
+			out = append(out, doc)
+		case "attribute":
+			for _, a := range v.Attrs {
+				attr := xdm.NewAttribute(a.Name, a.Value)
+				attr.Seal()
+				out = append(out, attr)
+			}
+		case "text":
+			t := xdm.NewText(v.StringValue())
+			t.Seal()
+			out = append(out, t)
+		case "comment":
+			c := xdm.NewComment(v.StringValue())
+			c.Seal()
+			out = append(out, c)
+		case "pi":
+			target := attrLocal(v, "target")
+			pi := xdm.NewPI(target, v.StringValue())
+			pi.Seal()
+			out = append(out, pi)
+		default:
+			return nil, fmt.Errorf("soap: unknown sequence item element %q", v.Name)
+		}
+	}
+	return out, nil
+}
+
+// localName strips any namespace prefix.
+func localName(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// firstChildLocal finds the first child element with the given local
+// name, tolerating any namespace prefix (interoperability: other
+// implementations may choose different prefixes).
+func firstChildLocal(n *xdm.Node, local string) *xdm.Node {
+	for _, c := range n.ChildElements() {
+		if localName(c.Name) == local {
+			return c
+		}
+	}
+	return nil
+}
+
+// attrLocal reads an attribute by local name regardless of prefix.
+func attrLocal(n *xdm.Node, local string) string {
+	for _, a := range n.Attrs {
+		if localName(a.Name) == local {
+			return a.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,157 @@
+package soap
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xrpc/internal/xdm"
+)
+
+// Call-by-fragment: the protocol extension sketched in footnote 4 of the
+// paper. When a node parameter is a descendant-or-self of another node
+// parameter that is fully serialized in the same call, it may be
+// referred to with an xrpc:nodeid attribute instead of being serialized
+// again. The n2s function then returns the node *within* the decoded
+// fragment of the referenced parameter, which
+//
+//   - preserves ancestor/descendant relationships among parameters at
+//     the remote peer (plain call-by-value destroys them), and
+//   - compresses the SOAP message (the fragment ships once).
+//
+// The reference format is "p<param>:<ord>": parameter index (0-based)
+// of the fully serialized fragment, and the preorder ordinal of the
+// node within that parameter's item (ordinals are stable across
+// serialize/parse because both sides seal trees identically).
+
+// NodeRef is a by-fragment parameter reference.
+type NodeRef struct {
+	Param int // which parameter holds the serialized fragment
+	Item  int // which item of that parameter (usually 0)
+	Ord   int // preorder ordinal within the item's tree
+}
+
+// String renders the xrpc:nodeid attribute value.
+func (r NodeRef) String() string {
+	return fmt.Sprintf("p%d.%d:%d", r.Param, r.Item, r.Ord)
+}
+
+// parseNodeRef parses an xrpc:nodeid attribute value.
+func parseNodeRef(s string) (NodeRef, error) {
+	var r NodeRef
+	if !strings.HasPrefix(s, "p") {
+		return r, fmt.Errorf("soap: malformed nodeid %q", s)
+	}
+	rest := s[1:]
+	dot := strings.IndexByte(rest, '.')
+	colon := strings.IndexByte(rest, ':')
+	if dot < 0 || colon < 0 || colon < dot {
+		return r, fmt.Errorf("soap: malformed nodeid %q", s)
+	}
+	var err error
+	if r.Param, err = strconv.Atoi(rest[:dot]); err != nil {
+		return r, fmt.Errorf("soap: malformed nodeid %q", s)
+	}
+	if r.Item, err = strconv.Atoi(rest[dot+1 : colon]); err != nil {
+		return r, fmt.Errorf("soap: malformed nodeid %q", s)
+	}
+	if r.Ord, err = strconv.Atoi(rest[colon+1:]); err != nil {
+		return r, fmt.Errorf("soap: malformed nodeid %q", s)
+	}
+	return r, nil
+}
+
+// CompressCall computes the call-by-fragment references for one call's
+// parameters: a node item that is a descendant-or-self of an earlier
+// node parameter (the fully serialized fragment) is marked with a
+// NodeRef. refs[i][j] is non-nil when params[i][j] should travel as a
+// reference; the ordinal is relative to the fragment item's subtree, so
+// it survives serialization (both sides seal subtrees identically).
+func CompressCall(params []xdm.Sequence) (refs [][]*NodeRef, compressed bool) {
+	type frag struct {
+		param, item int
+		node        *xdm.Node
+	}
+	var frags []frag
+	refs = make([][]*NodeRef, len(params))
+	for pi, seq := range params {
+		refs[pi] = make([]*NodeRef, len(seq))
+		for ii, it := range seq {
+			n, isNode := it.(*xdm.Node)
+			if !isNode {
+				continue
+			}
+			found := false
+			for _, f := range frags {
+				if isAncestorOrSelf(f.node, n) {
+					refs[pi][ii] = &NodeRef{
+						Param: f.param,
+						Item:  f.item,
+						Ord:   n.Ord() - f.node.Ord(),
+					}
+					compressed = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				frags = append(frags, frag{param: pi, item: ii, node: n})
+			}
+		}
+	}
+	return refs, compressed
+}
+
+func isAncestorOrSelf(anc, n *xdm.Node) bool {
+	for p := n; p != nil; p = p.Parent {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// writeItemRef writes either the full item or a nodeid reference.
+func writeItemRef(b *strings.Builder, it xdm.Item, ref *NodeRef) {
+	if ref == nil {
+		writeItem(b, it)
+		return
+	}
+	fmt.Fprintf(b, `<xrpc:element xrpc:nodeid=%q/>`, ref.String())
+}
+
+// ResolveNodeRefs walks decoded call parameters and replaces nodeid
+// placeholders with the actual nodes inside the referenced decoded
+// fragments. Placeholders are *xdm.Node elements named "xrpc:nodeid-ref"
+// carrying the reference in their Value (installed by DecodeSequence).
+func ResolveNodeRefs(params []xdm.Sequence) error {
+	for pi, seq := range params {
+		for ii, it := range seq {
+			n, isNode := it.(*xdm.Node)
+			if !isNode || n.Name != nodeRefPlaceholder {
+				continue
+			}
+			ref, err := parseNodeRef(n.Value)
+			if err != nil {
+				return err
+			}
+			if ref.Param >= len(params) || ref.Item >= len(params[ref.Param]) {
+				return fmt.Errorf("soap: nodeid %s out of range", n.Value)
+			}
+			target, isN := params[ref.Param][ref.Item].(*xdm.Node)
+			if !isN {
+				return fmt.Errorf("soap: nodeid %s refers to a non-node parameter", n.Value)
+			}
+			resolved := target.FindByOrd(ref.Ord)
+			if resolved == nil {
+				return fmt.Errorf("soap: nodeid %s not found in fragment", n.Value)
+			}
+			params[pi][ii] = resolved
+		}
+	}
+	return nil
+}
+
+// nodeRefPlaceholder is the synthetic element name DecodeSequence uses
+// for unresolved references.
+const nodeRefPlaceholder = "xrpc:nodeid-ref"

@@ -1,0 +1,146 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+
+	"xrpc/internal/xdm"
+)
+
+const joinDoc = `<site><people>
+<person id="p1"><name>Ann</name><address><city>Delft</city></address></person>
+<person id="p2"><name>Bob</name></person>
+</people></site>`
+
+func fragParams(t *testing.T) []xdm.Sequence {
+	t.Helper()
+	doc, err := xdm.ParseDocument("site.xml", joinDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	people := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "people"})[0]
+	ann := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "person"})[0]
+	city := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "city"})[0]
+	// param 0: the whole people fragment; params 1, 2: nodes inside it
+	return []xdm.Sequence{{people}, {ann}, {city}}
+}
+
+func TestCompressCallFindsDescendants(t *testing.T) {
+	params := fragParams(t)
+	refs, compressed := CompressCall(params)
+	if !compressed {
+		t.Fatal("descendant parameters not detected")
+	}
+	if refs[0][0] != nil {
+		t.Error("the fragment itself must be serialized in full")
+	}
+	if refs[1][0] == nil || refs[2][0] == nil {
+		t.Fatalf("descendant params not referenced: %+v", refs)
+	}
+	if refs[1][0].Param != 0 || refs[2][0].Param != 0 {
+		t.Errorf("refs point at wrong parameter: %+v %+v", refs[1][0], refs[2][0])
+	}
+}
+
+func TestByFragmentRoundTripPreservesRelationships(t *testing.T) {
+	params := fragParams(t)
+	req := &Request{
+		Module: "m", Method: "f", Arity: 3, Location: "l",
+		ByFragment: true,
+		Calls:      [][]xdm.Sequence{params},
+	}
+	msg := EncodeRequest(req)
+	if !strings.Contains(string(msg), "xrpc:nodeid=") {
+		t.Fatalf("message not compressed:\n%s", msg)
+	}
+	back, err := DecodeRequest(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	people := back.Calls[0][0][0].(*xdm.Node)
+	ann := back.Calls[0][1][0].(*xdm.Node)
+	city := back.Calls[0][2][0].(*xdm.Node)
+	if ann.Name != "person" {
+		t.Fatalf("resolved ann = %s", xdm.SerializeNode(ann))
+	}
+	if id, _ := ann.Attr("id"); id != "p1" {
+		t.Errorf("ann id = %s", id)
+	}
+	if city.StringValue() != "Delft" {
+		t.Errorf("city = %s", xdm.SerializeNode(city))
+	}
+	// THE point of the extension: ancestor/descendant relationships
+	// between parameters survive at the remote side
+	if ann.Root() != people.Root() {
+		t.Error("ann and people do not share a tree at the remote peer")
+	}
+	up := xdm.Step(city, xdm.AxisAncestor, xdm.NodeTest{Name: "person"})
+	if len(up) != 1 || up[0] != ann {
+		t.Error("city's person ancestor is not the ann parameter")
+	}
+}
+
+func TestByFragmentCompressesMessage(t *testing.T) {
+	params := fragParams(t)
+	plain := EncodeRequest(&Request{
+		Module: "m", Method: "f", Arity: 3, Location: "l",
+		Calls: [][]xdm.Sequence{params},
+	})
+	compressed := EncodeRequest(&Request{
+		Module: "m", Method: "f", Arity: 3, Location: "l",
+		ByFragment: true,
+		Calls:      [][]xdm.Sequence{params},
+	})
+	if len(compressed) >= len(plain) {
+		t.Errorf("by-fragment message not smaller: %d vs %d", len(compressed), len(plain))
+	}
+}
+
+func TestByFragmentUnrelatedNodesStayByValue(t *testing.T) {
+	a, _ := xdm.ParseFragment(`<a><x/></a>`)
+	b, _ := xdm.ParseFragment(`<b><y/></b>`)
+	req := &Request{
+		Module: "m", Method: "f", Arity: 2, Location: "l",
+		ByFragment: true,
+		Calls:      [][]xdm.Sequence{{{a[0]}, {b[0]}}},
+	}
+	msg := EncodeRequest(req)
+	if strings.Contains(string(msg), "xrpc:nodeid=") {
+		t.Error("unrelated parameters must not be compressed")
+	}
+	back, err := DecodeRequest(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := back.Calls[0][0][0].(*xdm.Node)
+	rb := back.Calls[0][1][0].(*xdm.Node)
+	if ra.Root() == rb.Root() {
+		t.Error("unrelated parameters must stay in separate trees")
+	}
+}
+
+func TestNodeRefParsing(t *testing.T) {
+	ref := NodeRef{Param: 2, Item: 1, Ord: 17}
+	back, err := parseNodeRef(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ref {
+		t.Errorf("round trip = %+v", back)
+	}
+	for _, bad := range []string{"", "x1:2", "p1:2", "p1.2", "pa.b:c"} {
+		if _, err := parseNodeRef(bad); err == nil {
+			t.Errorf("%q: expected parse error", bad)
+		}
+	}
+}
+
+func TestDanglingNodeRefRejected(t *testing.T) {
+	msg := `<env:Envelope xmlns:env="e" xmlns:xrpc="x"><env:Body>
+<xrpc:request xrpc:module="m" xrpc:method="f" xrpc:arity="1" xrpc:location="l">
+<xrpc:call><xrpc:sequence><xrpc:element xrpc:nodeid="p0.0:99"/></xrpc:sequence></xrpc:call>
+</xrpc:request></env:Body></env:Envelope>`
+	if _, err := DecodeRequest([]byte(msg)); err == nil {
+		t.Error("self-referencing/dangling nodeid must be rejected")
+	}
+}

@@ -1,0 +1,134 @@
+// Package store implements the XML database state db(t) from the paper's
+// formal semantics (§2.2): a set of named documents with versioned,
+// copy-on-write snapshots. Snapshots give XRPC its repeatable-read
+// isolation level (rule R'_Fr): every request carrying the same queryID
+// is evaluated against the same Snapshot.
+//
+// Documents are immutable once stored. Updates (XQUF applyUpdates)
+// produce a fresh document tree and swap it in under the same name,
+// bumping the store version; existing snapshots keep referencing the old
+// trees, which is exactly the shadow-paging behaviour the paper ascribes
+// to MonetDB/XQuery.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xrpc/internal/xdm"
+)
+
+// Store is a thread-safe named-document database.
+type Store struct {
+	mu      sync.RWMutex
+	docs    map[string]*xdm.Node
+	version int64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{docs: make(map[string]*xdm.Node)}
+}
+
+// LoadXML parses text and stores it under name.
+func (s *Store) LoadXML(name, text string) error {
+	doc, err := xdm.ParseDocument(name, text)
+	if err != nil {
+		return fmt.Errorf("store: load %s: %w", name, err)
+	}
+	s.Put(name, doc)
+	return nil
+}
+
+// Put stores (or replaces) a document under name, bumping the version.
+// The caller must not mutate doc afterwards.
+func (s *Store) Put(name string, doc *xdm.Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[name] = doc
+	s.version++
+}
+
+// Delete removes a document.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.docs, name)
+	s.version++
+}
+
+// Get returns the current version of the named document.
+func (s *Store) Get(name string) (*xdm.Node, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[name]
+	return d, ok
+}
+
+// Doc implements the document resolver used by fn:doc against the latest
+// committed state (isolation level "none", rule R_Fr).
+func (s *Store) Doc(uri string) (*xdm.Node, error) {
+	d, ok := s.Get(uri)
+	if !ok {
+		return nil, xdm.Errorf("FODC0002", "document %q not found", uri)
+	}
+	return d, nil
+}
+
+// Version returns the current store version (monotonically increasing).
+func (s *Store) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Names returns the sorted names of all stored documents.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for n := range s.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot captures the current database state db(t): a consistent,
+// immutable view of all documents. Reading from a snapshot never sees
+// later Puts.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	docs := make(map[string]*xdm.Node, len(s.docs))
+	for k, v := range s.docs {
+		docs[k] = v
+	}
+	return &Snapshot{docs: docs, version: s.version}
+}
+
+// Snapshot is an immutable view of the store at one version.
+type Snapshot struct {
+	docs    map[string]*xdm.Node
+	version int64
+}
+
+// Get returns the named document in the snapshot.
+func (sn *Snapshot) Get(name string) (*xdm.Node, bool) {
+	d, ok := sn.docs[name]
+	return d, ok
+}
+
+// Doc implements the fn:doc resolver against the snapshot (repeatable
+// read, rule R'_Fr).
+func (sn *Snapshot) Doc(uri string) (*xdm.Node, error) {
+	d, ok := sn.docs[uri]
+	if !ok {
+		return nil, xdm.Errorf("FODC0002", "document %q not found", uri)
+	}
+	return d, nil
+}
+
+// Version returns the store version the snapshot was taken at.
+func (sn *Snapshot) Version() int64 { return sn.version }

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xrpc/internal/xdm"
+)
+
+func TestLoadGetDelete(t *testing.T) {
+	s := New()
+	if err := s.LoadXML("a.xml", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("a.xml"); !ok {
+		t.Fatal("a.xml missing")
+	}
+	if _, ok := s.Get("b.xml"); ok {
+		t.Fatal("phantom document")
+	}
+	if err := s.LoadXML("bad.xml", "<a><b></a>"); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+	s.Delete("a.xml")
+	if _, ok := s.Get("a.xml"); ok {
+		t.Fatal("delete did not remove")
+	}
+}
+
+func TestDocResolver(t *testing.T) {
+	s := New()
+	s.LoadXML("a.xml", "<a/>")
+	if _, err := s.Doc("a.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Doc("nope.xml"); err == nil {
+		t.Fatal("missing doc should error")
+	}
+}
+
+func TestVersionMonotonic(t *testing.T) {
+	s := New()
+	v0 := s.Version()
+	s.LoadXML("a.xml", "<a/>")
+	v1 := s.Version()
+	s.LoadXML("a.xml", "<a2/>")
+	v2 := s.Version()
+	s.Delete("a.xml")
+	v3 := s.Version()
+	if !(v0 < v1 && v1 < v2 && v2 < v3) {
+		t.Errorf("versions not monotonic: %d %d %d %d", v0, v1, v2, v3)
+	}
+}
+
+func TestSnapshotImmutability(t *testing.T) {
+	s := New()
+	s.LoadXML("a.xml", "<a><old/></a>")
+	snap := s.Snapshot()
+	s.LoadXML("a.xml", "<a><new/></a>")
+	s.LoadXML("b.xml", "<b/>")
+
+	d, ok := snap.Get("a.xml")
+	if !ok {
+		t.Fatal("snapshot lost a.xml")
+	}
+	if got := len(xdm.Step(d, xdm.AxisDescendant, xdm.NodeTest{Name: "old"})); got != 1 {
+		t.Error("snapshot does not see the old version")
+	}
+	if _, ok := snap.Get("b.xml"); ok {
+		t.Error("snapshot sees a document created after it")
+	}
+	if _, err := snap.Doc("b.xml"); err == nil {
+		t.Error("snapshot Doc resolves later document")
+	}
+	// latest state sees the new version
+	cur, _ := s.Get("a.xml")
+	if got := len(xdm.Step(cur, xdm.AxisDescendant, xdm.NodeTest{Name: "new"})); got != 1 {
+		t.Error("store does not see the new version")
+	}
+	if snap.Version() >= s.Version() {
+		t.Error("snapshot version not older than store version")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := New()
+	for _, n := range []string{"c.xml", "a.xml", "b.xml"} {
+		s.LoadXML(n, "<x/>")
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a.xml" || names[2] != "c.xml" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				name := fmt.Sprintf("doc%d.xml", i)
+				s.LoadXML(name, "<x/>")
+				s.Get(name)
+				s.Snapshot()
+				s.Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(s.Names()) != 8 {
+		t.Errorf("docs = %d", len(s.Names()))
+	}
+}

@@ -1,0 +1,172 @@
+package strategies
+
+import (
+	"testing"
+
+	"xrpc/internal/xdm"
+	"xrpc/internal/xmark"
+)
+
+func testConfig() xmark.Config {
+	return xmark.Config{
+		Persons:         25,
+		ClosedAuctions:  100,
+		Matches:         6,
+		AnnotationWords: 10,
+		Seed:            42,
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	cfg := testConfig()
+	var counts []int
+	var results []xdm.Sequence
+	for _, spec := range []struct{ name, query string }{
+		{"data shipping", QDataShipping},
+		{"predicate push-down", QPredicatePushdown},
+		{"execution relocation", QExecutionRelocation},
+		{"distributed semi-join", QDistributedSemiJoin},
+	} {
+		env, err := NewEnv(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, seq, err := env.RunSeq(spec.name, spec.query)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.name, err)
+		}
+		counts = append(counts, len(seq))
+		results = append(results, seq)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Errorf("strategy %d returned %d rows, strategy 0 returned %d", i, counts[i], counts[0])
+		}
+	}
+	if counts[0] != 6 {
+		t.Errorf("join produced %d matches, want 6 (the paper's selectivity)", counts[0])
+	}
+	// every result row is a <result> with a person and an annotation
+	for _, seq := range results {
+		for _, it := range seq {
+			n, ok := it.(*xdm.Node)
+			if !ok || n.Name != "result" {
+				t.Fatalf("result item = %v", it)
+			}
+			persons := xdm.Step(n, xdm.AxisChild, xdm.NodeTest{Name: "person"})
+			annos := xdm.Step(n, xdm.AxisChild, xdm.NodeTest{Name: "annotation"})
+			if len(persons) != 1 || len(annos) != 1 {
+				t.Fatalf("result shape: %d persons, %d annotations", len(persons), len(annos))
+			}
+		}
+	}
+}
+
+func TestSemiJoinIsSingleBulkRequest(t *testing.T) {
+	env, err := NewEnv(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := env.Run("distributed semi-join", QDistributedSemiJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 persons probe B — but loop-lifting folds them into ONE bulk RPC
+	if r.Requests != 1 {
+		t.Errorf("semi-join sent %d requests to B, want 1 (Bulk RPC)", r.Requests)
+	}
+}
+
+func TestDataShippingMovesMostBytes(t *testing.T) {
+	env, err := NewEnv(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := env.Run("data shipping", QDataShipping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2, err := NewEnv(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi, err := env2.Run("distributed semi-join", QDistributedSemiJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 4's qualitative claim: the semi-join incurs the least data
+	// shipping
+	if semi.BytesShipped >= ship.BytesShipped {
+		t.Errorf("semi-join shipped %d bytes >= data shipping %d bytes",
+			semi.BytesShipped, ship.BytesShipped)
+	}
+}
+
+func TestRunAllOrder(t *testing.T) {
+	env, err := NewEnv(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := env.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"data shipping", "predicate push-down", "execution relocation", "distributed semi-join"}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Strategy != want[i] {
+			t.Errorf("result %d = %s, want %s", i, r.Strategy, want[i])
+		}
+		if r.Rows != 6 {
+			t.Errorf("%s: %d rows, want 6", r.Strategy, r.Rows)
+		}
+	}
+}
+
+func TestGeneratorSelectivity(t *testing.T) {
+	cfg := testConfig()
+	persons := xmark.GeneratePersons(cfg)
+	auctions := xmark.GenerateAuctions(cfg)
+	pd, err := xdm.ParseDocument("p", persons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := xdm.ParseDocument("a", auctions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNodes := xdm.Step(pd, xdm.AxisDescendant, xdm.NodeTest{Name: "person"})
+	if len(pNodes) != cfg.Persons {
+		t.Errorf("persons = %d, want %d", len(pNodes), cfg.Persons)
+	}
+	aNodes := xdm.Step(ad, xdm.AxisDescendant, xdm.NodeTest{Name: "closed_auction"})
+	if len(aNodes) != cfg.ClosedAuctions {
+		t.Errorf("auctions = %d, want %d", len(aNodes), cfg.ClosedAuctions)
+	}
+	// count actual join matches
+	ids := map[string]bool{}
+	for _, p := range pNodes {
+		id, _ := p.Attr("id")
+		ids[id] = true
+	}
+	matches := 0
+	for _, a := range aNodes {
+		buyers := xdm.Step(a, xdm.AxisChild, xdm.NodeTest{Name: "buyer"})
+		if len(buyers) != 1 {
+			t.Fatalf("auction has %d buyers", len(buyers))
+		}
+		ref, _ := buyers[0].Attr("person")
+		if ids[ref] {
+			matches++
+		}
+	}
+	if matches != cfg.Matches {
+		t.Errorf("join matches = %d, want %d", matches, cfg.Matches)
+	}
+	// deterministic: same seed, same output
+	if xmark.GeneratePersons(cfg) != persons {
+		t.Error("persons generation is not deterministic")
+	}
+}

@@ -1,0 +1,96 @@
+// Package txn implements the originator side of distributed atomic
+// commit for updating XRPC queries (§2.3). The paper deliberately does
+// not add 2PC to the XRPC network protocol itself; instead it relies on
+// WS-AtomicTransaction / WS-Coordination. This package is a minimal
+// stand-in for those industry stacks with the same verbs: the peer that
+// started the query registers every participating peer (learned from the
+// participating-peers piggyback in XRPC responses) and drives
+// Prepare/Commit — aborting everywhere if any participant fails to
+// prepare.
+package txn
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"xrpc/internal/client"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+)
+
+// WSATModule is the reserved module URI for WS-AT verbs (matching
+// server.WSATModule).
+const WSATModule = "urn:wsat"
+
+// NewQueryID mints a fresh queryID for a query starting now at host,
+// with the given isolation timeout in seconds.
+func NewQueryID(host string, timeout int) *soap.QueryID {
+	var buf [8]byte
+	rand.Read(buf[:])
+	return &soap.QueryID{
+		ID:        "q-" + hex.EncodeToString(buf[:]),
+		Host:      host,
+		Timestamp: time.Now().UTC(),
+		Timeout:   timeout,
+	}
+}
+
+// Coordinator drives two-phase commit across the participants of one
+// query. The embedded client must carry the query's QueryID.
+type Coordinator struct {
+	Client *client.Client
+	// Log receives protocol events (optional, for tests/experiments).
+	Log func(event, peer string)
+}
+
+func (co *Coordinator) logf(event, peer string) {
+	if co.Log != nil {
+		co.Log(event, peer)
+	}
+}
+
+func (co *Coordinator) verb(peer, method string) error {
+	_, err := co.Client.CallBulk(peer, &client.BulkRequest{
+		ModuleURI: WSATModule,
+		Func:      method,
+		Arity:     0,
+		Calls:     [][]xdm.Sequence{{}},
+	})
+	return err
+}
+
+// CommitAll runs the 2PC protocol over all peers: Prepare each (phase
+// 1), then Commit each (phase 2). If any Prepare fails, every peer is
+// aborted and the error is returned — no peer commits.
+func (co *Coordinator) CommitAll(peers []string) error {
+	for _, p := range peers {
+		co.logf("prepare", p)
+		if err := co.verb(p, "Prepare"); err != nil {
+			co.logf("prepare-failed", p)
+			co.AbortAll(peers)
+			return fmt.Errorf("txn: prepare failed at %s: %w", p, err)
+		}
+	}
+	var firstErr error
+	for _, p := range peers {
+		co.logf("commit", p)
+		if err := co.verb(p, "Commit"); err != nil && firstErr == nil {
+			// a commit failure after successful prepare is a heuristic
+			// outcome; report it but keep committing the rest
+			firstErr = fmt.Errorf("txn: commit failed at %s: %w", p, err)
+		}
+	}
+	return firstErr
+}
+
+// AbortAll tells every peer to discard the query's deferred state.
+// Errors are ignored: peers that cannot be reached will expire the
+// queryID via its timeout (§2.2: "a timeout mechanism is inevitable").
+func (co *Coordinator) AbortAll(peers []string) {
+	for _, p := range peers {
+		co.logf("abort", p)
+		_ = co.verb(p, "Abort")
+	}
+}

@@ -1,0 +1,75 @@
+package wrapper
+
+// PureMarshalModule implements the n2s()/s2n() marshaling functions of
+// §2.2 purely in XQuery, as §4 of the paper says is possible ("The s2n()
+// function ... uses an XQuery typeswitch() to generate the right SOAP
+// node"). The wrapper normally uses native marshaling (the paper:
+// "these functions do not need to exist in reality"); enabling
+// PureXQueryMarshal makes the generated query use this module instead —
+// demonstrating that a completely XQuery-level wrapper is feasible.
+//
+// n2s dispatches on the XRPC wrapper-element names and rebuilds typed
+// atomic values with xs:TYPE constructor functions; node values are
+// re-constructed (element constructors deep-copy their content), so the
+// returned nodes are fresh fragments — navigating upwards from them can
+// never reach the SOAP envelope, exactly the guarantee §2.2 demands.
+const PureMarshalModule = `
+module namespace xm = "urn:xrpc-marshal";
+declare namespace xrpc = "http://monetdb.cwi.nl/XQuery";
+declare namespace xsi = "http://www.w3.org/2001/XMLSchema-instance";
+
+declare function xm:typed($v as node()) as item() {
+  let $t := string($v/@xsi:type)
+  return
+    if ($t = "xs:integer") then xs:integer(string($v))
+    else if ($t = "xs:double")  then xs:double(string($v))
+    else if ($t = "xs:decimal") then xs:decimal(string($v))
+    else if ($t = "xs:boolean") then xs:boolean(string($v))
+    else if ($t = "xs:untypedAtomic") then xs:untypedAtomic(string($v))
+    else string($v)
+};
+
+(: deep re-construction: the result is a fresh fragment :)
+declare function xm:copy($n as node()) as node() {
+  typeswitch ($n)
+  case $e as element() return
+    element {name($e)} {
+      for $a in $e/@* return attribute {name($a)} {string($a)},
+      for $c in $e/node() return xm:copy($c)
+    }
+  case $t as text() return text {string($t)}
+  default return $n
+};
+
+declare function xm:n2s($seq as node()) as item()* {
+  for $v in $seq/*
+  return
+    if (local-name($v) = "atomic-value") then xm:typed($v)
+    else if (local-name($v) = "element")  then (for $c in $v/* return xm:copy($c))
+    else if (local-name($v) = "text")     then text {string($v)}
+    else if (local-name($v) = "document") then (for $c in $v/* return xm:copy($c))
+    else ()
+};
+
+declare function xm:s2n($seq as item()*) as node() {
+  element {"xrpc:sequence"} {
+    for $i in $seq
+    return
+      typeswitch ($i)
+      case $e as element() return element {"xrpc:element"} { $e }
+      case $d as document-node() return element {"xrpc:document"} { $d }
+      case $t as text() return element {"xrpc:text"} { string($t) }
+      case $b as xs:boolean return
+        element {"xrpc:atomic-value"} { attribute {"xsi:type"} {"xs:boolean"}, string($b) }
+      case $n as xs:integer return
+        element {"xrpc:atomic-value"} { attribute {"xsi:type"} {"xs:integer"}, string($n) }
+      case $n as xs:double return
+        element {"xrpc:atomic-value"} { attribute {"xsi:type"} {"xs:double"}, string($n) }
+      case $n as xs:decimal return
+        element {"xrpc:atomic-value"} { attribute {"xsi:type"} {"xs:decimal"}, string($n) }
+      case $u as xs:untypedAtomic return
+        element {"xrpc:atomic-value"} { attribute {"xsi:type"} {"xs:untypedAtomic"}, string($u) }
+      default $a return
+        element {"xrpc:atomic-value"} { attribute {"xsi:type"} {"xs:string"}, string($a) }
+  }
+};`

@@ -1,0 +1,369 @@
+package xdm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// String is an xs:string atomic value.
+type String string
+
+// Integer is an xs:integer atomic value.
+type Integer int64
+
+// Decimal is an xs:decimal atomic value. The reproduction represents
+// decimals as float64; the paper's workloads never exceed float64
+// precision.
+type Decimal float64
+
+// Double is an xs:double atomic value.
+type Double float64
+
+// Boolean is an xs:boolean atomic value.
+type Boolean bool
+
+// Untyped is an xs:untypedAtomic value, produced by atomizing nodes of
+// untyped (schema-less) documents.
+type Untyped string
+
+func (String) isItem()  {}
+func (Integer) isItem() {}
+func (Decimal) isItem() {}
+func (Double) isItem()  {}
+func (Boolean) isItem() {}
+func (Untyped) isItem() {}
+
+// StringValue implements Item.
+func (v String) StringValue() string { return string(v) }
+
+// StringValue implements Item.
+func (v Integer) StringValue() string { return strconv.FormatInt(int64(v), 10) }
+
+// StringValue implements Item.
+func (v Decimal) StringValue() string { return formatFloat(float64(v)) }
+
+// StringValue implements Item.
+func (v Double) StringValue() string { return formatFloat(float64(v)) }
+
+// StringValue implements Item.
+func (v Boolean) StringValue() string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// StringValue implements Item.
+func (v Untyped) StringValue() string { return string(v) }
+
+// TypeName implements Item.
+func (String) TypeName() string { return "xs:string" }
+
+// TypeName implements Item.
+func (Integer) TypeName() string { return "xs:integer" }
+
+// TypeName implements Item.
+func (Decimal) TypeName() string { return "xs:decimal" }
+
+// TypeName implements Item.
+func (Double) TypeName() string { return "xs:double" }
+
+// TypeName implements Item.
+func (Boolean) TypeName() string { return "xs:boolean" }
+
+// TypeName implements Item.
+func (Untyped) TypeName() string { return "xs:untypedAtomic" }
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "INF"
+	}
+	if math.IsInf(f, -1) {
+		return "-INF"
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// NumericValue returns the float64 value of a numeric or untyped/string
+// item, with ok=false when the item is not convertible.
+func NumericValue(it Item) (float64, bool) {
+	switch v := it.(type) {
+	case Integer:
+		return float64(v), true
+	case Decimal:
+		return float64(v), true
+	case Double:
+		return float64(v), true
+	case Untyped:
+		f, err := strconv.ParseFloat(strings.TrimSpace(string(v)), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// IsNumeric reports whether the item is one of the numeric atomic types.
+func IsNumeric(it Item) bool {
+	switch it.(type) {
+	case Integer, Decimal, Double:
+		return true
+	}
+	return false
+}
+
+// CastAtomic casts an atomic item to the named XML Schema type, following
+// XQuery cast rules for the supported types. Nodes are atomized first by
+// callers; passing a node is an error.
+func CastAtomic(it Item, typeName string) (Item, error) {
+	if n, ok := it.(*Node); ok {
+		it = Untyped(n.StringValue())
+	}
+	s := strings.TrimSpace(it.StringValue())
+	switch typeName {
+	case "xs:string":
+		return String(it.StringValue()), nil
+	case "xs:untypedAtomic":
+		return Untyped(it.StringValue()), nil
+	case "xs:integer", "xs:int", "xs:long", "xs:short", "xs:byte",
+		"xs:nonNegativeInteger", "xs:positiveInteger", "xs:unsignedInt":
+		switch v := it.(type) {
+		case Integer:
+			return v, nil
+		case Decimal:
+			return Integer(int64(v)), nil
+		case Double:
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return nil, NewError("FOCA0002", "cannot cast NaN/INF to xs:integer")
+			}
+			return Integer(int64(v)), nil
+		case Boolean:
+			if v {
+				return Integer(1), nil
+			}
+			return Integer(0), nil
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, Errorf("FORG0001", "cannot cast %q to xs:integer", s)
+		}
+		return Integer(i), nil
+	case "xs:decimal":
+		switch v := it.(type) {
+		case Integer:
+			return Decimal(v), nil
+		case Decimal:
+			return v, nil
+		case Double:
+			return Decimal(v), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, Errorf("FORG0001", "cannot cast %q to xs:decimal", s)
+		}
+		return Decimal(f), nil
+	case "xs:double", "xs:float":
+		switch v := it.(type) {
+		case Integer:
+			return Double(v), nil
+		case Decimal:
+			return Double(v), nil
+		case Double:
+			return v, nil
+		}
+		switch s {
+		case "INF":
+			return Double(math.Inf(1)), nil
+		case "-INF":
+			return Double(math.Inf(-1)), nil
+		case "NaN":
+			return Double(math.NaN()), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, Errorf("FORG0001", "cannot cast %q to xs:double", s)
+		}
+		return Double(f), nil
+	case "xs:boolean":
+		switch v := it.(type) {
+		case Boolean:
+			return v, nil
+		case Integer:
+			return Boolean(v != 0), nil
+		case Double:
+			return Boolean(v == v && v != 0), nil
+		case Decimal:
+			return Boolean(v != 0), nil
+		}
+		switch s {
+		case "true", "1":
+			return Boolean(true), nil
+		case "false", "0":
+			return Boolean(false), nil
+		}
+		return nil, Errorf("FORG0001", "cannot cast %q to xs:boolean", s)
+	case "xs:anyAtomicType", "item()":
+		return it, nil
+	default:
+		return nil, Errorf("XPST0051", "unsupported cast target type %s", typeName)
+	}
+}
+
+// CompareOp names a value comparison operator.
+type CompareOp int
+
+// Comparison operators in XQuery value-comparison order.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the XQuery keyword for the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "eq"
+	case OpNe:
+		return "ne"
+	case OpLt:
+		return "lt"
+	case OpLe:
+		return "le"
+	case OpGt:
+		return "gt"
+	default:
+		return "ge"
+	}
+}
+
+// CompareAtomic applies a value comparison between two atomic items,
+// applying the XQuery type-promotion rules (untypedAtomic compares as
+// string against strings, as number against numbers; numeric types are
+// promoted to the widest operand type).
+func CompareAtomic(a, b Item, op CompareOp) (bool, error) {
+	c, err := compareKey(a, b)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	default:
+		return c >= 0, nil
+	}
+}
+
+// compareKey returns -1/0/1 ordering between two atomics.
+func compareKey(a, b Item) (int, error) {
+	if na, aNum := a.(*Node); aNum {
+		a = Untyped(na.StringValue())
+	}
+	if nb, bNum := b.(*Node); bNum {
+		b = Untyped(nb.StringValue())
+	}
+	// untyped pairs with the other operand's type; untyped-untyped is string.
+	ua, aIsU := a.(Untyped)
+	ub, bIsU := b.(Untyped)
+	switch {
+	case aIsU && bIsU:
+		return strings.Compare(string(ua), string(ub)), nil
+	case aIsU:
+		if IsNumeric(b) {
+			fa, ok := NumericValue(a)
+			if !ok {
+				return 0, Errorf("FORG0001", "cannot compare untyped %q as number", ua)
+			}
+			fb, _ := NumericValue(b)
+			return cmpFloat(fa, fb), nil
+		}
+		if bb, isB := b.(Boolean); isB {
+			ca, err := CastAtomic(a, "xs:boolean")
+			if err != nil {
+				return 0, err
+			}
+			return cmpBool(bool(ca.(Boolean)), bool(bb)), nil
+		}
+		return strings.Compare(string(ua), b.StringValue()), nil
+	case bIsU:
+		c, err := compareKey(b, a)
+		return -c, err
+	}
+	if IsNumeric(a) && IsNumeric(b) {
+		fa, _ := NumericValue(a)
+		fb, _ := NumericValue(b)
+		return cmpFloat(fa, fb), nil
+	}
+	switch va := a.(type) {
+	case String:
+		if vb, ok := b.(String); ok {
+			return strings.Compare(string(va), string(vb)), nil
+		}
+	case Boolean:
+		if vb, ok := b.(Boolean); ok {
+			return cmpBool(bool(va), bool(vb)), nil
+		}
+	}
+	return 0, Errorf("XPTY0004", "cannot compare %s with %s", a.TypeName(), b.TypeName())
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// GeneralCompare implements XQuery general comparisons (=, !=, <, <=, >,
+// >=) with existential semantics: true if the comparison holds between
+// any pair of atomized items from the two sequences.
+func GeneralCompare(a, b Sequence, op CompareOp) (bool, error) {
+	aa := Atomize(a)
+	bb := Atomize(b)
+	for _, x := range aa {
+		for _, y := range bb {
+			ok, err := CompareAtomic(x, y, op)
+			if err != nil {
+				// Per general-comparison rules, incomparable pairs raise
+				// a type error; untyped casting failures propagate too.
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

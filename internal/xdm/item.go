@@ -1,0 +1,140 @@
+// Package xdm implements the XQuery Data Model (XDM) subset required by
+// the XRPC reproduction: atomic values, nodes, sequences, document order,
+// atomization, effective boolean value, and XML serialization.
+//
+// Every XQuery expression evaluates to a Sequence of Items. An Item is
+// either an atomic value (xs:string, xs:integer, xs:decimal, xs:double,
+// xs:boolean, xs:untypedAtomic) or a Node (document, element, attribute,
+// text, comment, processing-instruction).
+package xdm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Item is a single XDM item: an atomic value or a node.
+type Item interface {
+	// StringValue returns the string value of the item as defined by
+	// the XDM (fn:string semantics).
+	StringValue() string
+	// TypeName returns the XML Schema type name for atomic values
+	// (e.g. "xs:integer") or a node-kind name for nodes.
+	TypeName() string
+	isItem()
+}
+
+// Sequence is an ordered sequence of items. The empty sequence is
+// represented by an empty (or nil) slice. A single item and the singleton
+// sequence containing it are interchangeable, per the XDM.
+type Sequence []Item
+
+// Empty reports whether the sequence is the empty sequence.
+func (s Sequence) Empty() bool { return len(s) == 0 }
+
+// Singleton wraps one item into a sequence.
+func Singleton(it Item) Sequence { return Sequence{it} }
+
+// Concat concatenates sequences in order.
+func Concat(seqs ...Sequence) Sequence {
+	n := 0
+	for _, s := range seqs {
+		n += len(s)
+	}
+	out := make(Sequence, 0, n)
+	for _, s := range seqs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// StringJoin joins the string values of all items with sep.
+func (s Sequence) StringJoin(sep string) string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.StringValue()
+	}
+	return strings.Join(parts, sep)
+}
+
+// String renders the sequence for debugging: items joined by ", " inside
+// parentheses.
+func (s Sequence) String() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		switch v := it.(type) {
+		case String:
+			parts[i] = fmt.Sprintf("%q", string(v))
+		case *Node:
+			parts[i] = v.debugString()
+		default:
+			parts[i] = it.StringValue()
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Atomize applies fn:data to every item in the sequence: atomic values
+// pass through, nodes are converted to their typed value (untypedAtomic
+// for the node string value in this implementation, matching untyped
+// documents).
+func Atomize(s Sequence) Sequence {
+	out := make(Sequence, 0, len(s))
+	for _, it := range s {
+		switch v := it.(type) {
+		case *Node:
+			out = append(out, Untyped(v.StringValue()))
+		default:
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// EffectiveBoolean computes the effective boolean value of a sequence per
+// XQuery 1.0 §2.4.3. It returns an error (err:FORG0006) for sequences that
+// have no effective boolean value.
+func EffectiveBoolean(s Sequence) (bool, error) {
+	if len(s) == 0 {
+		return false, nil
+	}
+	if _, isNode := s[0].(*Node); isNode {
+		return true, nil
+	}
+	if len(s) > 1 {
+		return false, NewError("FORG0006", "effective boolean value of a sequence of more than one atomic item")
+	}
+	switch v := s[0].(type) {
+	case Boolean:
+		return bool(v), nil
+	case String:
+		return len(v) > 0, nil
+	case Untyped:
+		return len(v) > 0, nil
+	case Integer:
+		return v != 0, nil
+	case Decimal:
+		return v != 0, nil
+	case Double:
+		return v == v && v != 0, nil // NaN -> false
+	default:
+		return false, NewError("FORG0006", "no effective boolean value for "+s[0].TypeName())
+	}
+}
+
+// Error is an XQuery dynamic or type error carrying a W3C-style error
+// code (e.g. XPTY0004) and a human-readable description.
+type Error struct {
+	Code string
+	Msg  string
+}
+
+// NewError builds an *Error with the given code and message.
+func NewError(code, msg string) *Error { return &Error{Code: code, Msg: msg} }
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *Error) Error() string { return "err:" + e.Code + " " + e.Msg }

@@ -1,0 +1,31 @@
+package xdm
+
+import "sort"
+
+func sortNodes(nodes []*Node) {
+	sort.SliceStable(nodes, func(i, j int) bool { return DocOrderLess(nodes[i], nodes[j]) })
+}
+
+// NodesOf extracts the nodes from a sequence, returning ok=false when any
+// item is not a node (needed by path expressions, which require node
+// inputs).
+func NodesOf(s Sequence) ([]*Node, bool) {
+	out := make([]*Node, 0, len(s))
+	for _, it := range s {
+		n, isNode := it.(*Node)
+		if !isNode {
+			return nil, false
+		}
+		out = append(out, n)
+	}
+	return out, true
+}
+
+// NodeSeq wraps nodes into a Sequence.
+func NodeSeq(nodes []*Node) Sequence {
+	out := make(Sequence, len(nodes))
+	for i, n := range nodes {
+		out[i] = n
+	}
+	return out
+}

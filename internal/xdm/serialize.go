@@ -1,0 +1,191 @@
+package xdm
+
+import (
+	"strings"
+)
+
+// SerializeNode renders a node as XML text, the XRPC wire representation
+// of node-typed values.
+func SerializeNode(n *Node) string {
+	var b strings.Builder
+	writeNode(&b, n)
+	return b.String()
+}
+
+// SerializeSequence renders an XDM sequence the way fn:serialize /
+// MonetDB result serialization does: nodes as XML, atomics as string
+// values, adjacent atomics separated by a single space.
+func SerializeSequence(s Sequence) string {
+	var b strings.Builder
+	prevAtomic := false
+	for _, it := range s {
+		if n, isNode := it.(*Node); isNode {
+			writeNode(&b, n)
+			prevAtomic = false
+			continue
+		}
+		if prevAtomic {
+			b.WriteByte(' ')
+		}
+		b.WriteString(it.StringValue())
+		prevAtomic = true
+	}
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			writeNode(b, c)
+		}
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Name)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			escapeAttr(b, a.Value)
+			b.WriteByte('"')
+		}
+		if len(n.Children) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			writeNode(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Name)
+		b.WriteByte('>')
+	case TextNode:
+		escapeText(b, n.Value)
+	case AttributeNode:
+		// A bare attribute serializes as name="value" (only legal inside
+		// the XRPC <attribute> wrapper).
+		b.WriteString(n.Name)
+		b.WriteString(`="`)
+		escapeAttr(b, n.Value)
+		b.WriteByte('"')
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Value)
+		b.WriteString("-->")
+	case PINode:
+		b.WriteString("<?")
+		b.WriteString(n.Name)
+		if n.Value != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Value)
+		}
+		b.WriteString("?>")
+	}
+}
+
+func escapeText(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// DeepEqual implements fn:deep-equal over two sequences: pairwise equal
+// atomics (by value comparison) and structurally equal nodes (name,
+// kind, attributes as a set, children in order; comments/PIs ignored at
+// element level per spec).
+func DeepEqual(a, b Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		an, aIsNode := a[i].(*Node)
+		bn, bIsNode := b[i].(*Node)
+		if aIsNode != bIsNode {
+			return false
+		}
+		if aIsNode {
+			if !deepEqualNode(an, bn) {
+				return false
+			}
+			continue
+		}
+		eq, err := CompareAtomic(a[i], b[i], OpEq)
+		if err != nil || !eq {
+			return false
+		}
+	}
+	return true
+}
+
+func deepEqualNode(a, b *Node) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TextNode, CommentNode:
+		return a.Value == b.Value
+	case PINode:
+		return a.Name == b.Name && a.Value == b.Value
+	case AttributeNode:
+		return a.Name == b.Name && a.Value == b.Value
+	}
+	if a.Kind == ElementNode && a.Name != b.Name {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for _, aa := range a.Attrs {
+		v, ok := b.Attr(aa.Name)
+		if !ok || v != aa.Value {
+			return false
+		}
+	}
+	ac := comparableChildren(a)
+	bc := comparableChildren(b)
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		if !deepEqualNode(ac[i], bc[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func comparableChildren(n *Node) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == CommentNode || c.Kind == PINode {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package xmark generates the synthetic workloads of the paper's
+// experiments: the filmDB document of §2, and XMark-like persons.xml /
+// auctions.xml documents for the §5 distributed-query experiment (in the
+// paper: persons.xml 1.1 MB with 250 person nodes at peer A,
+// auctions.xml 50 MB with 4875 closed_auction nodes at peer B, 6 join
+// matches). The real XMark generator is C software driven by benchmark
+// scale factors; this substitution produces documents with the same node
+// shapes, the same join selectivity knob, and scalable sizes.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes document generation.
+type Config struct {
+	// Persons is the number of person elements in persons.xml.
+	Persons int
+	// ClosedAuctions is the number of closed_auction elements.
+	ClosedAuctions int
+	// Matches is how many closed auctions reference an existing person
+	// (the join selectivity of Q7; the paper's setup has 6).
+	Matches int
+	// AnnotationWords scales the size of each auction's annotation text
+	// (the paper's auctions.xml is ~50 MB for 4875 auctions ≈ 10 KB per
+	// auction).
+	AnnotationWords int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// PaperConfig is the §5 experimental setup scaled down by default; pass
+// scale=1 for the paper's sizes.
+func PaperConfig(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		Persons:         int(250 * scale),
+		ClosedAuctions:  int(4875 * scale),
+		Matches:         6,
+		AnnotationWords: 120,
+		Seed:            42,
+	}
+}
+
+var firstNames = []string{
+	"Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi",
+	"Ivan", "Judy", "Ken", "Laura", "Mallory", "Niaj", "Olivia", "Peggy",
+}
+
+var lastNames = []string{
+	"Smith", "Jones", "Brown", "Taylor", "Wilson", "Evans", "Thomas",
+	"Johnson", "Walker", "White", "Green", "Hall", "Wood", "Martin",
+}
+
+var words = []string{
+	"gold", "page", "wind", "river", "stone", "cloud", "ember", "quill",
+	"harbor", "meadow", "lantern", "anchor", "cedar", "violet", "summit",
+	"willow", "garnet", "falcon", "harvest", "marble", "copper", "juniper",
+}
+
+// GeneratePersons renders persons.xml: site/people/person* with
+// id attributes "person0".."personN-1".
+func GeneratePersons(cfg Config) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var b strings.Builder
+	b.WriteString("<site><people>\n")
+	for i := 0; i < cfg.Persons; i++ {
+		first := firstNames[rng.Intn(len(firstNames))]
+		last := lastNames[rng.Intn(len(lastNames))]
+		fmt.Fprintf(&b, `<person id="person%d">`, i)
+		fmt.Fprintf(&b, "<name>%s %s</name>", first, last)
+		fmt.Fprintf(&b, "<emailaddress>mailto:%s.%s%d@example.org</emailaddress>",
+			strings.ToLower(first), strings.ToLower(last), i)
+		fmt.Fprintf(&b, "<address><street>%d %s Street</street><city>%s City</city><country>NL</country><zipcode>%d</zipcode></address>",
+			rng.Intn(200)+1, words[rng.Intn(len(words))], words[rng.Intn(len(words))], 10000+rng.Intn(89999))
+		fmt.Fprintf(&b, "<profile income=\"%d\"><interest category=\"category%d\"/><education>%s</education></profile>",
+			20000+rng.Intn(80000), rng.Intn(10), []string{"High School", "College", "Graduate School"}[rng.Intn(3)])
+		b.WriteString("</person>\n")
+	}
+	b.WriteString("</people></site>\n")
+	return b.String()
+}
+
+// GenerateAuctions renders auctions.xml: site/closed_auctions/
+// closed_auction* with buyer/@person references. Exactly cfg.Matches
+// auctions reference person ids that exist in a persons.xml generated
+// with the same Config; the remainder reference out-of-range ids.
+func GenerateAuctions(cfg Config) string {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// pick the matching auction indexes deterministically; each match
+	// goes to a distinct person (the paper's 6 matches are 6 distinct
+	// buyers — and the semi-join rewrite of §5 groups per person, so
+	// distinctness keeps all four strategies row-equivalent)
+	matchAt := map[int]bool{}
+	for len(matchAt) < cfg.Matches && len(matchAt) < cfg.ClosedAuctions {
+		matchAt[rng.Intn(cfg.ClosedAuctions)] = true
+	}
+	buyers := map[int]bool{}
+	nextBuyer := func() int {
+		for {
+			p := rng.Intn(max(cfg.Persons, 1))
+			if !buyers[p] || len(buyers) >= cfg.Persons {
+				buyers[p] = true
+				return p
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("<site><closed_auctions>\n")
+	for i := 0; i < cfg.ClosedAuctions; i++ {
+		var buyer string
+		if matchAt[i] {
+			buyer = fmt.Sprintf("person%d", nextBuyer())
+		} else {
+			buyer = fmt.Sprintf("outsider%d", cfg.Persons+i)
+		}
+		fmt.Fprintf(&b, `<closed_auction><seller person="outsider%d"/><buyer person="%s"/><itemref item="item%d"/>`,
+			rng.Intn(100000), buyer, i)
+		fmt.Fprintf(&b, "<price>%d.%02d</price><date>%02d/%02d/2006</date><quantity>1</quantity><type>Regular</type>",
+			rng.Intn(500)+1, rng.Intn(100), rng.Intn(12)+1, rng.Intn(28)+1)
+		b.WriteString("<annotation><author person=\"outsider1\"/><description><text>")
+		for w := 0; w < cfg.AnnotationWords; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(words[rng.Intn(len(words))])
+		}
+		b.WriteString("</text></description><happiness>7</happiness></annotation>")
+		b.WriteString("</closed_auction>\n")
+	}
+	b.WriteString("</closed_auctions></site>\n")
+	return b.String()
+}
+
+// GenerateFilmDB renders the running-example film database of §2: films
+// count films, drawing actors round-robin from the given list.
+func GenerateFilmDB(films int, actors []string) string {
+	if len(actors) == 0 {
+		actors = []string{"Sean Connery", "Julie Andrews", "Gerard Depardieu"}
+	}
+	rng := rand.New(rand.NewSource(7))
+	var b strings.Builder
+	b.WriteString("<films>\n")
+	for i := 0; i < films; i++ {
+		fmt.Fprintf(&b, "<film><name>%s %s %d</name><actor>%s</actor></film>\n",
+			titleWord(words[rng.Intn(len(words))]), titleWord(words[rng.Intn(len(words))]),
+			i, actors[i%len(actors)])
+	}
+	b.WriteString("</films>\n")
+	return b.String()
+}
+
+// PaperFilmDB is the exact three-film document from §2 of the paper.
+const PaperFilmDB = `<films>
+<film><name>The Rock</name><actor>Sean Connery</actor></film>
+<film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+<film><name>Green Card</name><actor>Gerard Depardieu</actor></film>
+</films>`
+
+func titleWord(w string) string {
+	if w == "" {
+		return w
+	}
+	return strings.ToUpper(w[:1]) + w[1:]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"xrpc/internal/xdm"
+)
+
+func TestPaperConfigScaling(t *testing.T) {
+	cfg := PaperConfig(1)
+	if cfg.Persons != 250 || cfg.ClosedAuctions != 4875 || cfg.Matches != 6 {
+		t.Errorf("paper config = %+v", cfg)
+	}
+	half := PaperConfig(0.5)
+	if half.Persons != 125 || half.ClosedAuctions != 2437 {
+		t.Errorf("half config = %+v", half)
+	}
+	if def := PaperConfig(0); def.Persons != 250 {
+		t.Errorf("zero scale should default to 1: %+v", def)
+	}
+}
+
+func TestPersonsWellFormed(t *testing.T) {
+	cfg := Config{Persons: 10, Seed: 1}
+	doc, err := xdm.ParseDocument("p", GeneratePersons(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	persons := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "person"})
+	if len(persons) != 10 {
+		t.Fatalf("persons = %d", len(persons))
+	}
+	for i, p := range persons {
+		id, ok := p.Attr("id")
+		if !ok || !strings.HasPrefix(id, "person") {
+			t.Errorf("person %d id = %q", i, id)
+		}
+		if n := xdm.Step(p, xdm.AxisChild, xdm.NodeTest{Name: "name"}); len(n) != 1 {
+			t.Errorf("person %d has %d names", i, len(n))
+		}
+		if a := xdm.Step(p, xdm.AxisChild, xdm.NodeTest{Name: "address"}); len(a) != 1 {
+			t.Errorf("person %d has %d addresses", i, len(a))
+		}
+	}
+}
+
+func TestAuctionsWellFormedAndSized(t *testing.T) {
+	cfg := Config{Persons: 10, ClosedAuctions: 20, Matches: 4, AnnotationWords: 30, Seed: 1}
+	text := GenerateAuctions(cfg)
+	doc, err := xdm.ParseDocument("a", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auctions := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "closed_auction"})
+	if len(auctions) != 20 {
+		t.Fatalf("auctions = %d", len(auctions))
+	}
+	for _, a := range auctions {
+		if anno := xdm.Step(a, xdm.AxisChild, xdm.NodeTest{Name: "annotation"}); len(anno) != 1 {
+			t.Fatal("auction missing annotation")
+		}
+	}
+	// AnnotationWords scales the size
+	small := GenerateAuctions(Config{Persons: 10, ClosedAuctions: 20, Matches: 4, AnnotationWords: 2, Seed: 1})
+	if len(text) <= len(small) {
+		t.Error("larger AnnotationWords should give a larger document")
+	}
+}
+
+func TestDistinctBuyersForMatches(t *testing.T) {
+	cfg := Config{Persons: 8, ClosedAuctions: 50, Matches: 6, Seed: 3}
+	doc, err := xdm.ParseDocument("a", GenerateAuctions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "buyer"}) {
+		ref, _ := a.Attr("person")
+		if !strings.HasPrefix(ref, "person") {
+			continue
+		}
+		if seen[ref] {
+			t.Errorf("buyer %s matched twice; matches must hit distinct persons", ref)
+		}
+		seen[ref] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("distinct matched buyers = %d, want 6", len(seen))
+	}
+}
+
+func TestFilmDB(t *testing.T) {
+	doc, err := xdm.ParseDocument("f", GenerateFilmDB(9, []string{"A", "B", "C"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	films := xdm.Step(doc, xdm.AxisDescendant, xdm.NodeTest{Name: "film"})
+	if len(films) != 9 {
+		t.Fatalf("films = %d", len(films))
+	}
+	// actors round-robin
+	for i, f := range films {
+		actor := xdm.Step(f, xdm.AxisChild, xdm.NodeTest{Name: "actor"})[0].StringValue()
+		want := []string{"A", "B", "C"}[i%3]
+		if actor != want {
+			t.Errorf("film %d actor = %s, want %s", i, actor, want)
+		}
+	}
+	// paper film DB parses and has the §2 shape
+	pd, err := xdm.ParseDocument("p", PaperFilmDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(xdm.Step(pd, xdm.AxisDescendant, xdm.NodeTest{Name: "film"})); n != 3 {
+		t.Errorf("paper filmDB films = %d", n)
+	}
+}
