@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race catches data races in the parallel bulk-execution pipeline.
+race:
+	$(GO) test -race ./...
+
+# bench reproduces the sequential-vs-parallel bulk execution comparison
+# (BenchmarkBulkExecParallel_* in bench_test.go).
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkBulkExecParallel' -benchtime 50x .
+
+ci: build vet race

@@ -10,6 +10,7 @@
 package xrpc
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -148,4 +149,33 @@ func BenchmarkFigure2_BulkTranslation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBulkExecParallel contrasts NativeExecutor worker-pool sizes
+// on one read-only bulk request of 64 getPerson calls (the parallel
+// Bulk RPC execution pipeline). Wall-clock speedup needs multiple
+// cores; on a single-core machine all sizes degenerate to interleaved
+// sequential execution.
+func benchBulkExec(b *testing.B, workers int) {
+	b.Helper()
+	env, err := bench.NewBulkExecEnv(64, xmark.Config{Persons: 150, AnnotationWords: 10, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// prime the function cache: measure execution, not one-time compile
+	if _, _, err := env.Run(workers); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Run(workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkExecParallel_W1(b *testing.B) { benchBulkExec(b, 1) }
+func BenchmarkBulkExecParallel_W4(b *testing.B) { benchBulkExec(b, 4) }
+func BenchmarkBulkExecParallel_WMax(b *testing.B) {
+	benchBulkExec(b, runtime.GOMAXPROCS(0))
 }

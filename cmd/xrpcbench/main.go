@@ -6,16 +6,20 @@
 //	xrpcbench -table 4           Table 4  (Q7 distributed strategies)
 //	xrpcbench -table throughput  §3.3 request/response throughput
 //	xrpcbench -table fig1        Figure 1 (Bulk RPC intermediate tables)
+//	xrpcbench -table bulkexec    server-side bulk execution: sequential vs parallel
 //	xrpcbench -table all         everything
 //
 // The -scale flag scales the XMark data (1.0 = the paper's 250 persons /
-// 4875 auctions); -rtt sets the simulated round-trip latency.
+// 4875 auctions); -rtt sets the simulated round-trip latency; -parallel
+// sets the worker pool sizes compared by the bulkexec experiment.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"xrpc/internal/bench"
@@ -27,6 +31,9 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
 	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"largest worker pool size for the bulkexec experiment")
+	calls := flag.Int("calls", 256, "bulk request size for the bulkexec experiment")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -54,6 +61,46 @@ func main() {
 	if all || *table == "fig1" {
 		run("Figure 1", runFigure1)
 	}
+	if all || *table == "bulkexec" {
+		run("Bulk execution (sequential vs parallel)", func() error {
+			return runBulkExec(*calls, *parallel, *scale)
+		})
+	}
+}
+
+// runBulkExec contrasts sequential execution of one read-only bulk
+// request with the NativeExecutor worker pool at increasing sizes, and
+// verifies that every parallel response is byte-identical to the
+// sequential one.
+func runBulkExec(calls, maxWorkers int, scale float64) error {
+	cfg := xmark.PaperConfig(scale)
+	env, err := bench.NewBulkExecEnv(calls, cfg)
+	if err != nil {
+		return err
+	}
+	// untimed warm-up: prime the function cache so the workers=1
+	// baseline does not pay one-time module compilation
+	if _, _, err := env.Run(1); err != nil {
+		return err
+	}
+	base, baseResp, err := env.Run(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bulk request: %d getPerson calls over %d persons\n", calls, cfg.Persons)
+	fmt.Printf("workers %2d: %8.2f ms\n", 1, float64(base.Microseconds())/1000.0)
+	for workers := 2; workers <= maxWorkers; workers *= 2 {
+		d, resp, err := env.Run(workers)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(resp, baseResp) {
+			return fmt.Errorf("parallel response (workers=%d) differs from sequential", workers)
+		}
+		fmt.Printf("workers %2d: %8.2f ms  (%.2fx)\n",
+			workers, float64(d.Microseconds())/1000.0, float64(base)/float64(d))
+	}
+	return nil
 }
 
 func runTable2(rtt time.Duration, x int) error {

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"xrpc/internal/client"
@@ -27,12 +28,15 @@ func main() {
 	self := flag.String("self", "", "this peer's xrpc:// URI (default derived from -addr)")
 	docsDir := flag.String("docs", "", "directory of *.xml documents to load")
 	modsDir := flag.String("modules", "", "directory of *.xq modules to register")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker pool size for bulk request execution (<=1 = sequential)")
 	flag.Parse()
 
 	if *self == "" {
 		*self = "xrpc://localhost" + *addr
 	}
 	peer := core.NewPeer(*self, client.NewHTTPTransport())
+	peer.SetParallelism(*parallel)
 
 	if *docsDir != "" {
 		n, err := loadDocs(peer, *docsDir)

@@ -1,0 +1,3 @@
+module xrpc
+
+go 1.24

@@ -453,3 +453,64 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+// --------------------------------------------------- parallel bulk exec
+
+// BulkExecEnv is the server-side bulk execution harness: one native
+// (function-cached) peer holding an XMark persons document, and one
+// pre-encoded read-only bulk request of getPerson calls. It isolates the
+// executor's per-call evaluation cost — no network, no client — so the
+// sequential-vs-parallel contrast of the NativeExecutor worker pool is
+// directly observable.
+type BulkExecEnv struct {
+	Server *server.Server
+	Exec   *server.NativeExecutor
+	// Body is the encoded bulk request (Calls calls of func:getPerson).
+	Body []byte
+}
+
+// NewBulkExecEnv wires the harness with the given bulk size over an
+// XMark document of cfg.Persons persons.
+func NewBulkExecEnv(calls int, cfg xmark.Config) (*BulkExecEnv, error) {
+	reg := modules.NewRegistry()
+	if err := reg.Register(GetPersonModule, "http://example.org/functions.xq"); err != nil {
+		return nil, err
+	}
+	st := store.New()
+	if err := st.LoadXML("xmark.xml", xmark.GeneratePersons(cfg)); err != nil {
+		return nil, err
+	}
+	exec := server.NewNativeExecutor(interp.New(st, reg, nil), reg)
+	srv := server.New(st, reg, exec)
+	srv.Self = "xrpc://y.example.org"
+
+	req := &soap.Request{
+		Module:   "functions",
+		Method:   "getPerson",
+		Arity:    2,
+		Location: "http://example.org/functions.xq",
+	}
+	for i := 0; i < calls; i++ {
+		pid := fmt.Sprintf("person%d", i%maxInt(cfg.Persons, 1))
+		req.Calls = append(req.Calls, []xdm.Sequence{
+			{xdm.String("xmark.xml")}, {xdm.String(pid)},
+		})
+	}
+	return &BulkExecEnv{Server: srv, Exec: exec, Body: soap.EncodeRequest(req)}, nil
+}
+
+// Run serves the bulk request once with the given worker pool size and
+// returns the elapsed handling time. The response bytes are returned so
+// callers can assert parallel/sequential identity.
+func (env *BulkExecEnv) Run(parallelism int) (time.Duration, []byte, error) {
+	env.Exec.Parallelism = parallelism
+	start := time.Now()
+	resp, err := env.Server.HandleXRPC(client.XRPCPath, env.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if strings.Contains(string(resp), "Fault") {
+		return 0, nil, fmt.Errorf("bulk exec returned a fault: %s", resp)
+	}
+	return time.Since(start), resp, nil
+}

@@ -112,6 +112,14 @@ func NewWrapperPeer(self string, transport netsim.Transport) (*Peer, *wrapper.Wr
 	return p, w
 }
 
+// SetParallelism bounds the worker pool the peer's executor uses to
+// evaluate the calls of one incoming bulk request concurrently (n <= 1
+// = sequential, the paper's original behaviour). Read-only bulk
+// requests gain CPU parallelism on top of Bulk RPC's network
+// amortization; updating requests always execute sequentially to keep
+// repeatable-read semantics. Configure before serving traffic.
+func (p *Peer) SetParallelism(n int) { p.Server.SetParallelism(n) }
+
 // SetFunctionCache enables or disables the server-side function cache
 // (Table 2's "With/No Function Cache" switch). No-op for wrapper peers,
 // which never cache.

@@ -328,6 +328,27 @@ func (c *Compiled) CallFunction(uri, local string, args []xdm.Sequence, opts *Ev
 	return seq, ctx.pul, nil
 }
 
+// FunctionUpdating reports whether a bulk request addressed the way
+// CallFunction addresses it (local name + arity within module uri) may
+// resolve to an XQUF updating function. The server consults this before
+// evaluating the calls of a bulk request concurrently: updating calls
+// must stay sequential. CallFunction's fallback for unmatched URIs picks
+// an arbitrary local-name match, so this deliberately answers true if
+// ANY candidate is updating — erring toward sequential execution.
+func (c *Compiled) FunctionUpdating(uri, local string, arity int) bool {
+	if uri != "" {
+		if f, ok := c.funcs[funcKey{uri: uri, local: local, arity: arity}]; ok {
+			return f.decl.Updating
+		}
+	}
+	for k, f := range c.funcs {
+		if k.local == local && k.arity == arity && f.decl.Updating {
+			return true
+		}
+	}
+	return false
+}
+
 func (c *Compiled) newDynCtx(opts *EvalOptions) *dynCtx {
 	docs := c.engine.Docs
 	if opts.Docs != nil {

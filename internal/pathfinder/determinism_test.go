@@ -12,7 +12,19 @@ import (
 // updating calls executes out of query order on the server (per-site
 // batching), yet the pending updates apply in original query order.
 func TestDeterministicUpdateOrder(t *testing.T) {
+	runDeterministicUpdateOrder(t, 1)
+}
+
+// The same protocol survives a parallel bulk executor: updating
+// requests fall back to sequential evaluation, so the insert order is
+// unchanged at any pool size.
+func TestDeterministicUpdateOrderParallel(t *testing.T) {
+	runDeterministicUpdateOrder(t, 8)
+}
+
+func runDeterministicUpdateOrder(t *testing.T, parallelism int) {
 	f := newFixture(t)
+	f.ySrv.SetParallelism(parallelism)
 	upd := `
 module namespace lg="log";
 declare updating function lg:append($v as xs:string)
@@ -108,5 +120,26 @@ func TestSeqNrsRoundTrip(t *testing.T) {
 	}
 	if back2.SeqNrs != nil {
 		t.Errorf("unexpected seqNrs: %v", back2.SeqNrs)
+	}
+}
+
+// Read-only bulk requests evaluated by the server's worker pool return
+// results in call order: a loop-lifted query yields the same sequence
+// at any pool size.
+func TestParallelReadOnlyBulkDeterministic(t *testing.T) {
+	q := `
+import module namespace film="films" at "http://x.example.org/film.xq";
+for $a in ("Sean Connery", "Gerard Depardieu", "Nobody", "Sean Connery",
+           "Gerard Depardieu", "Sean Connery", "Nobody", "Gerard Depardieu")
+return execute at {"xrpc://y.example.org"} {film:filmsByActor($a)}`
+	f := newFixture(t)
+	want := xdm.SerializeSequence(f.eval(t, q, nil))
+	for _, workers := range []int{2, 4, 16} {
+		fp := newFixture(t)
+		fp.yExec.SetParallelism(workers)
+		got := xdm.SerializeSequence(fp.eval(t, q, nil))
+		if got != want {
+			t.Errorf("workers=%d: result differs\nsequential: %s\nparallel:   %s", workers, want, got)
+		}
 	}
 }

@@ -35,6 +35,14 @@ type Executor interface {
 	Execute(req *soap.Request, raw []byte, docs interp.DocResolver, rpc interp.RPCCaller) ([]xdm.Sequence, *interp.UpdateList, *interp.Stats, error)
 }
 
+// ParallelExecutor is implemented by executors whose bulk-call worker
+// pool is tunable (NativeExecutor, wrapper.Wrapper).
+type ParallelExecutor interface {
+	// SetParallelism bounds the number of calls of one bulk request
+	// evaluated concurrently; n <= 1 means sequential.
+	SetParallelism(n int)
+}
+
 // RPCFactory builds a per-request RPC caller for nested execute-at calls
 // performed while serving a request; it also reports which peers were
 // contacted (for the participating-peers piggyback). A nil factory
@@ -74,6 +82,15 @@ func (s *Server) ResetStats() {
 	defer s.mu.Unlock()
 	s.ServedRequests, s.ServedCalls, s.HandleTime = 0, 0, 0
 	s.LastStats = interp.Stats{}
+}
+
+// SetParallelism forwards the bulk-execution pool size to the executor
+// when it is tunable (no-op otherwise). Configure before serving
+// traffic.
+func (s *Server) SetParallelism(n int) {
+	if p, ok := s.Exec.(ParallelExecutor); ok {
+		p.SetParallelism(n)
+	}
 }
 
 // New creates a server over a store and module registry using the given

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -271,20 +274,21 @@ func TestFunctionCacheCounters(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if y.exec.CacheMisses != 1 || y.exec.CacheHits != 4 {
-		t.Errorf("cache hits=%d misses=%d, want 4/1", y.exec.CacheHits, y.exec.CacheMisses)
+	if y.exec.CacheMisses.Load() != 1 || y.exec.CacheHits.Load() != 4 {
+		t.Errorf("cache hits=%d misses=%d, want 4/1", y.exec.CacheHits.Load(), y.exec.CacheMisses.Load())
 	}
 	// disable cache: every request recompiles
 	y.exec.CacheEnabled = false
 	y.exec.InvalidateCache()
-	y.exec.CacheHits, y.exec.CacheMisses = 0, 0
+	y.exec.CacheHits.Store(0)
+	y.exec.CacheMisses.Store(0)
 	for i := 0; i < 3; i++ {
 		if _, err := cl.CallBulk("xrpc://y.example.org", br); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if y.exec.CacheMisses != 3 {
-		t.Errorf("no-cache misses = %d, want 3", y.exec.CacheMisses)
+	if y.exec.CacheMisses.Load() != 3 {
+		t.Errorf("no-cache misses = %d, want 3", y.exec.CacheMisses.Load())
 	}
 }
 
@@ -655,5 +659,160 @@ return execute at {"xrpc://y.example.org"} {rel:isInside($film, $name)}`
 	// call-by-fragment preserves it (footnote 4 extension)
 	if got := run(true); got != "true" {
 		t.Errorf("call-by-fragment: isInside = %s, want true", got)
+	}
+}
+
+// ------------------------------------------------- parallel bulk exec
+
+// The worker pool must be invisible on the wire: a read-only bulk
+// request returns byte-identical responses at any pool size.
+func TestParallelBulkByteIdenticalToSequential(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	y := newPeer(t, "xrpc://y.example.org", filmDBY, net)
+	req := &soap.Request{
+		Module: "films", Method: "filmsByActor", Arity: 1,
+		Location: "http://x.example.org/film.xq",
+	}
+	actors := []string{"Sean Connery", "Gerard Depardieu", "Nobody"}
+	for i := 0; i < 48; i++ {
+		req.Calls = append(req.Calls, []xdm.Sequence{{xdm.String(actors[i%len(actors)])}})
+	}
+	body := soap.EncodeRequest(req)
+	y.server.SetParallelism(1)
+	want, err := y.server.HandleXRPC("/xrpc", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(want), "Fault") {
+		t.Fatalf("sequential run faulted: %s", want)
+	}
+	for _, workers := range []int{2, 4, 16, 64} {
+		y.server.SetParallelism(workers)
+		got, err := y.server.HandleXRPC("/xrpc", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: response differs from sequential", workers)
+		}
+	}
+}
+
+// Updating bulk requests fall back to sequential evaluation under any
+// Parallelism: the pending-update order, and hence the final document,
+// is identical to sequential mode.
+func TestParallelUpdatingKeepsPendingUpdateOrder(t *testing.T) {
+	run := func(parallelism int) (string, string) {
+		t.Helper()
+		net := netsim.NewNetwork(0, 0)
+		y := newPeer(t, "xrpc://y.example.org", filmDBY, net)
+		y.server.SetParallelism(parallelism)
+		req := &soap.Request{
+			Module: "upd", Method: "addFilm", Arity: 2,
+			Location: "http://x.example.org/film.xq",
+			Updating: true,
+		}
+		for i := 0; i < 8; i++ {
+			req.Calls = append(req.Calls, []xdm.Sequence{
+				{xdm.String(fmt.Sprintf("Film %d", i))},
+				{xdm.String(fmt.Sprintf("Actor %d", i))},
+			})
+			// reversed seqNrs: the merge must honor the tags, not the
+			// evaluation order
+			req.SeqNrs = append(req.SeqNrs, int64(8-i))
+		}
+		_, pul, _, err := y.exec.Execute(req, nil, y.store, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := pul.Describe()
+		if err := interp.ApplyUpdates(y.store, pul); err != nil {
+			t.Fatal(err)
+		}
+		doc, _ := y.store.Get("filmDB.xml")
+		return order, xdm.SerializeSequence(xdm.Sequence{doc})
+	}
+	seqOrder, seqDoc := run(1)
+	parOrder, parDoc := run(8)
+	if parOrder != seqOrder {
+		t.Errorf("pending-update order differs:\nsequential:\n%s\nparallel:\n%s", seqOrder, parOrder)
+	}
+	if parDoc != seqDoc {
+		t.Errorf("final document differs:\nsequential:\n%s\nparallel:\n%s", seqDoc, parDoc)
+	}
+}
+
+// Concurrent bulk requests against a pool-enabled server (race-detector
+// coverage for the shared function cache and counters).
+func TestParallelBulkConcurrentRequests(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	y := newPeer(t, "xrpc://y.example.org", filmDBY, net)
+	y.server.SetParallelism(4)
+	req := &soap.Request{
+		Module: "films", Method: "filmsByActor", Arity: 1,
+		Location: "http://x.example.org/film.xq",
+	}
+	for i := 0; i < 32; i++ {
+		req.Calls = append(req.Calls, []xdm.Sequence{{xdm.String("Sean Connery")}})
+	}
+	body := soap.EncodeRequest(req)
+	var wg sync.WaitGroup
+	faults := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := y.server.HandleXRPC("/xrpc", body)
+			if err != nil {
+				faults[g] = err
+				return
+			}
+			if strings.Contains(string(resp), "Fault") {
+				faults[g] = fmt.Errorf("fault: %s", resp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range faults {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A failing call reports the lowest-index error, exactly like sequential
+// execution.
+func TestParallelBulkDeterministicError(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	y := newPeer(t, "xrpc://y.example.org", filmDBY, net)
+	// tst:echo with wrong arity 0 is fine; instead call a function that
+	// faults on a bad document for the middle call
+	badModule := `
+module namespace bad="bad";
+declare function bad:fetch($doc as xs:string) as node()*
+{ doc($doc)//name };`
+	if err := y.reg.Register(badModule, "http://x.example.org/bad.xq"); err != nil {
+		t.Fatal(err)
+	}
+	req := &soap.Request{
+		Module: "bad", Method: "fetch", Arity: 1,
+		Location: "http://x.example.org/bad.xq",
+	}
+	for i := 0; i < 16; i++ {
+		name := "filmDB.xml"
+		if i >= 5 {
+			name = fmt.Sprintf("missing%d.xml", i)
+		}
+		req.Calls = append(req.Calls, []xdm.Sequence{{xdm.String(name)}})
+	}
+	y.server.SetParallelism(1)
+	_, _, _, seqErr := y.exec.Execute(req, nil, y.store, nil)
+	y.server.SetParallelism(8)
+	_, _, _, parErr := y.exec.Execute(req, nil, y.store, nil)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("error differs: sequential %q, parallel %q", seqErr, parErr)
 	}
 }

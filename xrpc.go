@@ -23,6 +23,13 @@
 // calls, and the §5 distributed query strategies (predicate pushdown,
 // execution relocation, distributed semi-join).
 //
+// Beyond the paper, the server can drain one bulk request across CPU
+// cores: Peer.SetParallelism(n) bounds a worker pool that evaluates the
+// calls of a read-only Bulk RPC concurrently, while responses stay
+// byte-identical to sequential execution and updating requests keep the
+// paper's strictly sequential, repeatable-read semantics. Bulk RPC
+// amortizes network latency; the pool amortizes per-call CPU time.
+//
 // # Quickstart
 //
 //	net := xrpc.NewNetwork(500*time.Microsecond, 0)
