@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet race bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,4 +20,9 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkBulkExecParallel' -benchtime 50x .
 
-ci: build vet race
+# bench-smoke compiles and runs every benchmark exactly once so that
+# benchmark code can never rot uncompiled (it is part of ci).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: build vet race bench-smoke

@@ -7,6 +7,7 @@
 //	xrpcbench -table throughput  §3.3 request/response throughput
 //	xrpcbench -table fig1        Figure 1 (Bulk RPC intermediate tables)
 //	xrpcbench -table bulkexec    server-side bulk execution: sequential vs parallel
+//	xrpcbench -table algebra     columnar vs row-store relational operators
 //	xrpcbench -table all         everything
 //
 // The -scale flag scales the XMark data (1.0 = the paper's 250 persons /
@@ -34,6 +35,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"largest worker pool size for the bulkexec experiment")
 	calls := flag.Int("calls", 256, "bulk request size for the bulkexec experiment")
+	rows := flag.Int("rows", 16384, "input rows for the algebra experiment")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -66,6 +68,24 @@ func main() {
 			return runBulkExec(*calls, *parallel, *scale)
 		})
 	}
+	if all || *table == "algebra" {
+		run("Algebra operators (columnar vs row-store)", func() error {
+			return runAlgebra(*rows)
+		})
+	}
+}
+
+// runAlgebra contrasts the columnar vectorized operators with the
+// seed's row-store implementations on the loop-lifting hot shapes,
+// verifying identical outputs before timing.
+func runAlgebra(rows int) error {
+	res, err := bench.RunAlgebraBench(rows, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatAlgebraBench(res))
+	fmt.Println("\noutputs verified identical between layouts before timing")
+	return nil
 }
 
 // runBulkExec contrasts sequential execution of one read-only bulk

@@ -6,14 +6,17 @@
 //
 // XQuery sequences are represented as tables with schema iter|pos|item
 // (§3.1): iter is the loop iteration, pos the position within the
-// iteration's sequence, item the value. The paper's MonetDB back-end is
-// columnar; this reproduction stores rows — the operator semantics, not
-// the storage layout, carry the loop-lifting argument.
+// iteration's sequence, item the value. Like the paper's MonetDB
+// back-end, storage is columnar: a Table is a set of typed column
+// vectors (dense []int64 for integer columns such as iter/pos, generic
+// []xdm.Item otherwise), and the operators are vectorized — they build
+// selection vectors and gather or share whole columns instead of
+// materializing rows. The seed's row-store implementation survives as
+// the RowTable reference in rowref.go; the two must agree exactly.
 package algebra
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"xrpc/internal/xdm"
@@ -26,21 +29,44 @@ const (
 	ColItem = "item"
 )
 
-// Table is a relational table: named columns over rows of XDM items.
-// Integer-valued columns (iter, pos) hold xdm.Integer.
+// Table is a relational table: named, typed column vectors.
+// Integer-valued columns (iter, pos) hold xdm.Integer values in a dense
+// []int64 vector.
+//
+// Tables returned by operators may share column vectors with their
+// inputs (π is zero-copy) and are immutable: Append only works on
+// freshly constructed tables (NewTable/Lit) and panics on an operator
+// output.
 type Table struct {
-	Cols []string
-	Rows [][]xdm.Item
+	cols   []string
+	vecs   []*vec
+	n      int
+	frozen bool
 }
 
 // NewTable creates an empty table with the given columns.
 func NewTable(cols ...string) *Table {
-	return &Table{Cols: cols}
+	vecs := make([]*vec, len(cols))
+	for i := range vecs {
+		vecs[i] = &vec{}
+	}
+	return &Table{cols: cols, vecs: vecs}
 }
+
+// derived builds an operator output over pre-built column vectors.
+func derived(cols []string, vecs []*vec, n int) *Table {
+	return &Table{cols: cols, vecs: vecs, n: n, frozen: true}
+}
+
+// Cols returns the column names (callers must not modify the slice).
+func (t *Table) Cols() []string { return t.cols }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
 
 // ColIdx returns the index of a column, or -1.
 func (t *Table) ColIdx(name string) int {
-	for i, c := range t.Cols {
+	for i, c := range t.cols {
 		if c == name {
 			return i
 		}
@@ -51,53 +77,109 @@ func (t *Table) ColIdx(name string) int {
 func (t *Table) mustCol(name string) int {
 	i := t.ColIdx(name)
 	if i < 0 {
-		panic(fmt.Sprintf("algebra: table %v has no column %q", t.Cols, name))
+		panic(fmt.Sprintf("algebra: table %v has no column %q", t.cols, name))
 	}
 	return i
 }
 
 // Append adds a row (must match the column count).
 func (t *Table) Append(row ...xdm.Item) {
-	if len(row) != len(t.Cols) {
-		panic(fmt.Sprintf("algebra: row width %d != %d columns", len(row), len(t.Cols)))
+	if t.frozen {
+		panic("algebra: Append on an operator output (shared column vectors)")
 	}
-	t.Rows = append(t.Rows, row)
+	if len(row) != len(t.cols) {
+		panic(fmt.Sprintf("algebra: row width %d != %d columns", len(row), len(t.cols)))
+	}
+	for i, it := range row {
+		t.vecs[i].appendItem(it)
+	}
+	t.n++
+}
+
+// AppendSeq adds one (iter, pos, item) row to an iter|pos|item table
+// without boxing the integer columns — the hot append path of the
+// loop-lifting compiler.
+func (t *Table) AppendSeq(iter, pos int64, item xdm.Item) {
+	if t.frozen {
+		panic("algebra: Append on an operator output (shared column vectors)")
+	}
+	if len(t.cols) != 3 {
+		panic(fmt.Sprintf("algebra: AppendSeq on a %d-column table", len(t.cols)))
+	}
+	t.vecs[0].appendInt(iter)
+	t.vecs[1].appendInt(pos)
+	t.vecs[2].appendItem(item)
+	t.n++
 }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.Rows) }
+func (t *Table) Len() int { return t.n }
+
+// Item reads one cell.
+func (t *Table) Item(row, col int) xdm.Item {
+	return t.vecs[col].item(row)
+}
 
 // Int reads an integer cell.
 func (t *Table) Int(row, col int) int64 {
-	return int64(t.Rows[row][col].(xdm.Integer))
+	return t.vecs[col].int64At(row)
 }
 
-// Clone copies the table (rows shared are re-sliced, items shared).
-func (t *Table) Clone() *Table {
-	out := &Table{Cols: append([]string(nil), t.Cols...)}
-	out.Rows = make([][]xdm.Item, len(t.Rows))
-	for i, r := range t.Rows {
-		out.Rows[i] = append([]xdm.Item(nil), r...)
+// Ints returns a whole integer column as []int64, bounded to the
+// table's row count (a shared vector may have grown past it if the
+// sharing table's source was appended to). For a dense column this
+// aliases the live vector, so callers must treat it as read-only.
+func (t *Table) Ints(col int) []int64 {
+	return t.vecs[col].int64s()[:t.n:t.n]
+}
+
+// IntsOf is Ints by column name.
+func (t *Table) IntsOf(name string) []int64 {
+	return t.Ints(t.mustCol(name))
+}
+
+// Row materializes one row (for debugging and tests).
+func (t *Table) Row(row int) []xdm.Item {
+	out := make([]xdm.Item, len(t.vecs))
+	for i, v := range t.vecs {
+		out[i] = v.item(row)
 	}
 	return out
+}
+
+// gatherRows builds a new table holding the selected rows of t — the
+// shared materialization step of every selection-vector operator.
+func (t *Table) gatherRows(sel []int32) *Table {
+	vecs := make([]*vec, len(t.vecs))
+	for i, v := range t.vecs {
+		vecs[i] = v.gather(sel)
+	}
+	return derived(t.cols, vecs, len(sel))
+}
+
+// Where keeps the rows for which pred returns true (pred receives the
+// row index). It is the generic vectorized filter the runtime uses for
+// loop restriction (semi-joins on iter).
+func Where(t *Table, pred func(row int) bool) *Table {
+	sel := make([]int32, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		if pred(i) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return t.gatherRows(sel)
 }
 
 // String renders the table for debugging and for the Figure 1
 // experiment output.
 func (t *Table) String() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Cols, "|"))
+	b.WriteString(strings.Join(t.cols, "|"))
 	b.WriteByte('\n')
-	for _, r := range t.Rows {
-		parts := make([]string, len(r))
-		for i, v := range r {
-			if v == nil {
-				parts[i] = "·"
-			} else if n, ok := v.(*xdm.Node); ok {
-				parts[i] = xdm.SerializeNode(n)
-			} else {
-				parts[i] = v.StringValue()
-			}
+	for r := 0; r < t.n; r++ {
+		parts := make([]string, len(t.vecs))
+		for i, v := range t.vecs {
+			parts[i] = cellString(v.item(r))
 		}
 		b.WriteString(strings.Join(parts, "|"))
 		b.WriteByte('\n')
@@ -105,248 +187,14 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// itemKey builds a comparable key for grouping/dedup.
-func itemKey(it xdm.Item) any {
-	switch v := it.(type) {
-	case nil:
-		return nil
-	case *xdm.Node:
-		return v
-	case xdm.Integer:
-		return int64(v)
-	case xdm.Double:
-		return float64(v)
-	case xdm.Decimal:
-		return "d:" + v.StringValue()
-	case xdm.Boolean:
-		return bool(v)
-	default:
-		return it.TypeName() + ":" + it.StringValue()
+func cellString(v xdm.Item) string {
+	if v == nil {
+		return "·"
 	}
-}
-
-// rowKey builds a comparable composite key over the given columns.
-func rowKey(row []xdm.Item, idx []int) string {
-	parts := make([]string, len(idx))
-	for i, c := range idx {
-		parts[i] = fmt.Sprintf("%v", itemKey(row[c]))
+	if n, ok := v.(*xdm.Node); ok {
+		return xdm.SerializeNode(n)
 	}
-	return strings.Join(parts, "\x00")
-}
-
-// ------------------------------------------------------------ operators
-
-// Select (σ) keeps rows whose named boolean column is true.
-func Select(t *Table, col string) *Table {
-	c := t.mustCol(col)
-	out := NewTable(t.Cols...)
-	for _, r := range t.Rows {
-		if b, ok := r[c].(xdm.Boolean); ok && bool(b) {
-			out.Rows = append(out.Rows, r)
-		}
-	}
-	return out
-}
-
-// SelectEq keeps rows where column col equals the given item.
-func SelectEq(t *Table, col string, val xdm.Item) *Table {
-	c := t.mustCol(col)
-	key := itemKey(val)
-	out := NewTable(t.Cols...)
-	for _, r := range t.Rows {
-		if itemKey(r[c]) == key {
-			out.Rows = append(out.Rows, r)
-		}
-	}
-	return out
-}
-
-// Project (π) projects and optionally renames columns: each spec is
-// either "col" or "new:old". No duplicate removal.
-func Project(t *Table, specs ...string) *Table {
-	type mapping struct {
-		to   string
-		from int
-	}
-	maps := make([]mapping, len(specs))
-	cols := make([]string, len(specs))
-	for i, s := range specs {
-		to, from := s, s
-		if j := strings.IndexByte(s, ':'); j >= 0 {
-			to, from = s[:j], s[j+1:]
-		}
-		maps[i] = mapping{to: to, from: t.mustCol(from)}
-		cols[i] = to
-	}
-	out := NewTable(cols...)
-	out.Rows = make([][]xdm.Item, len(t.Rows))
-	for ri, r := range t.Rows {
-		row := make([]xdm.Item, len(maps))
-		for i, m := range maps {
-			row[i] = r[m.from]
-		}
-		out.Rows[ri] = row
-	}
-	return out
-}
-
-// Distinct (δ) removes duplicate rows.
-func Distinct(t *Table) *Table {
-	idx := make([]int, len(t.Cols))
-	for i := range idx {
-		idx[i] = i
-	}
-	seen := map[string]bool{}
-	out := NewTable(t.Cols...)
-	for _, r := range t.Rows {
-		k := rowKey(r, idx)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out.Rows = append(out.Rows, r)
-	}
-	return out
-}
-
-// Union (∪) is disjoint union: schemas must match.
-func Union(a, b *Table) *Table {
-	if len(a.Cols) != len(b.Cols) {
-		panic("algebra: union of incompatible schemas")
-	}
-	out := NewTable(a.Cols...)
-	out.Rows = append(out.Rows, a.Rows...)
-	out.Rows = append(out.Rows, b.Rows...)
-	return out
-}
-
-// UnionAll unions any number of tables.
-func UnionAll(tables ...*Table) *Table {
-	if len(tables) == 0 {
-		return NewTable()
-	}
-	out := NewTable(tables[0].Cols...)
-	for _, t := range tables {
-		out.Rows = append(out.Rows, t.Rows...)
-	}
-	return out
-}
-
-// Join (⋈) is an equi-join on a.colA = b.colB. Columns of b are suffixed
-// with "'" when they collide with a's.
-func Join(a, b *Table, colA, colB string) *Table {
-	ca, cb := a.mustCol(colA), b.mustCol(colB)
-	cols := append([]string(nil), a.Cols...)
-	for _, c := range b.Cols {
-		name := c
-		for contains(cols, name) {
-			name += "'"
-		}
-		cols = append(cols, name)
-	}
-	out := NewTable(cols...)
-	index := map[any][]int{}
-	for i, r := range b.Rows {
-		k := itemKey(r[cb])
-		index[k] = append(index[k], i)
-	}
-	for _, ra := range a.Rows {
-		for _, bi := range index[itemKey(ra[ca])] {
-			row := append(append([]xdm.Item(nil), ra...), b.Rows[bi]...)
-			out.Rows = append(out.Rows, row)
-		}
-	}
-	return out
-}
-
-func contains(ss []string, s string) bool {
-	for _, x := range ss {
-		if x == s {
-			return true
-		}
-	}
-	return false
-}
-
-// RowNum (ρ) implements DENSE_RANK-style row numbering: rows are ordered
-// by the sort columns, then numbered consecutively from 1 within each
-// partition (partition column "" means a single partition). The numbers
-// land in a new column named newCol.
-func RowNum(t *Table, newCol string, sortCols []string, partition string) *Table {
-	sortIdx := make([]int, len(sortCols))
-	for i, c := range sortCols {
-		sortIdx[i] = t.mustCol(c)
-	}
-	partIdx := -1
-	if partition != "" {
-		partIdx = t.mustCol(partition)
-	}
-	order := make([]int, len(t.Rows))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(x, y int) bool {
-		rx, ry := t.Rows[order[x]], t.Rows[order[y]]
-		if partIdx >= 0 {
-			c := compareItems(rx[partIdx], ry[partIdx])
-			if c != 0 {
-				return c < 0
-			}
-		}
-		for _, si := range sortIdx {
-			c := compareItems(rx[si], ry[si])
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	out := NewTable(append(append([]string(nil), t.Cols...), newCol)...)
-	out.Rows = make([][]xdm.Item, len(t.Rows))
-	var lastPart any = struct{}{}
-	n := int64(0)
-	for _, ri := range order {
-		r := t.Rows[ri]
-		if partIdx >= 0 {
-			pk := itemKey(r[partIdx])
-			if pk != lastPart {
-				lastPart = pk
-				n = 0
-			}
-		}
-		n++
-		out.Rows[ri] = append(append([]xdm.Item(nil), r...), xdm.Integer(n))
-	}
-	return out
-}
-
-// compareItems orders items for ρ: numerics numerically, nodes by
-// document order, everything else by string value.
-func compareItems(a, b xdm.Item) int {
-	an, aIsN := a.(*xdm.Node)
-	bn, bIsN := b.(*xdm.Node)
-	if aIsN && bIsN {
-		if an == bn {
-			return 0
-		}
-		if xdm.DocOrderLess(an, bn) {
-			return -1
-		}
-		return 1
-	}
-	fa, aOK := xdm.NumericValue(a)
-	fb, bOK := xdm.NumericValue(b)
-	if aOK && bOK {
-		switch {
-		case fa < fb:
-			return -1
-		case fa > fb:
-			return 1
-		default:
-			return 0
-		}
-	}
-	return strings.Compare(a.StringValue(), b.StringValue())
+	return v.StringValue()
 }
 
 // Lit builds a literal table from rows.
@@ -356,123 +204,4 @@ func Lit(cols []string, rows ...[]xdm.Item) *Table {
 		t.Append(r...)
 	}
 	return t
-}
-
-// IsSortedBy reports whether the rows are already ordered by the given
-// columns.
-func IsSortedBy(t *Table, cols ...string) bool {
-	idx := make([]int, len(cols))
-	for i, c := range cols {
-		idx[i] = t.mustCol(c)
-	}
-	for r := 1; r < len(t.Rows); r++ {
-		for _, ci := range idx {
-			c := compareItems(t.Rows[r-1][ci], t.Rows[r][ci])
-			if c < 0 {
-				break
-			}
-			if c > 0 {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// SortBy returns the rows sorted by the given columns (stable); used for
-// producing final sequence order (iter, pos). Tables are treated as
-// immutable by all operators, so an already-sorted input is returned
-// unchanged (no copy).
-func SortBy(t *Table, cols ...string) *Table {
-	if IsSortedBy(t, cols...) {
-		return t
-	}
-	idx := make([]int, len(cols))
-	for i, c := range cols {
-		idx[i] = t.mustCol(c)
-	}
-	out := t.Clone()
-	sort.SliceStable(out.Rows, func(x, y int) bool {
-		for _, ci := range idx {
-			c := compareItems(out.Rows[x][ci], out.Rows[y][ci])
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	return out
-}
-
-// Map1 appends a new column computed from one input column.
-func Map1(t *Table, newCol, in string, f func(xdm.Item) (xdm.Item, error)) (*Table, error) {
-	ci := t.mustCol(in)
-	out := NewTable(append(append([]string(nil), t.Cols...), newCol)...)
-	out.Rows = make([][]xdm.Item, len(t.Rows))
-	for i, r := range t.Rows {
-		v, err := f(r[ci])
-		if err != nil {
-			return nil, err
-		}
-		out.Rows[i] = append(append([]xdm.Item(nil), r...), v)
-	}
-	return out, nil
-}
-
-// Map2 appends a new column computed from two input columns.
-func Map2(t *Table, newCol, inA, inB string, f func(a, b xdm.Item) (xdm.Item, error)) (*Table, error) {
-	ca, cb := t.mustCol(inA), t.mustCol(inB)
-	out := NewTable(append(append([]string(nil), t.Cols...), newCol)...)
-	out.Rows = make([][]xdm.Item, len(t.Rows))
-	for i, r := range t.Rows {
-		v, err := f(r[ca], r[cb])
-		if err != nil {
-			return nil, err
-		}
-		out.Rows[i] = append(append([]xdm.Item(nil), r...), v)
-	}
-	return out, nil
-}
-
-// GroupCount counts rows per distinct value of groupCol, producing
-// groupCol|count. Groups absent from the input simply do not appear.
-func GroupCount(t *Table, groupCol string) *Table {
-	gc := t.mustCol(groupCol)
-	counts := map[any]int64{}
-	var order []xdm.Item
-	for _, r := range t.Rows {
-		k := itemKey(r[gc])
-		if _, seen := counts[k]; !seen {
-			order = append(order, r[gc])
-		}
-		counts[k]++
-	}
-	out := NewTable(groupCol, "count")
-	for _, g := range order {
-		out.Append(g, xdm.Integer(counts[itemKey(g)]))
-	}
-	return out
-}
-
-// GroupSum sums a numeric column per group value.
-func GroupSum(t *Table, groupCol, valCol string) (*Table, error) {
-	gc, vc := t.mustCol(groupCol), t.mustCol(valCol)
-	sums := map[any]float64{}
-	var order []xdm.Item
-	for _, r := range t.Rows {
-		k := itemKey(r[gc])
-		if _, seen := sums[k]; !seen {
-			order = append(order, r[gc])
-		}
-		v, ok := xdm.NumericValue(r[vc])
-		if !ok {
-			return nil, fmt.Errorf("algebra: non-numeric value in sum: %v", r[vc])
-		}
-		sums[k] += v
-	}
-	out := NewTable(groupCol, "sum")
-	for _, g := range order {
-		out.Append(g, xdm.Double(sums[itemKey(g)]))
-	}
-	return out, nil
 }

@@ -22,11 +22,11 @@ func sampleTable() *Table {
 func TestProjectRename(t *testing.T) {
 	tb := sampleTable()
 	p := Project(tb, "x:item", "iter")
-	if len(p.Cols) != 2 || p.Cols[0] != "x" || p.Cols[1] != "iter" {
-		t.Fatalf("cols = %v", p.Cols)
+	if p.NumCols() != 2 || p.Cols()[0] != "x" || p.Cols()[1] != "iter" {
+		t.Fatalf("cols = %v", p.Cols())
 	}
-	if p.Rows[0][0].StringValue() != "a" {
-		t.Errorf("row 0 = %v", p.Rows[0])
+	if p.Item(0, 0).StringValue() != "a" {
+		t.Errorf("row 0 = %v", p.Row(0))
 	}
 	// projection does not remove duplicates
 	dup := Lit([]string{"a", "b"},
@@ -49,6 +49,10 @@ func TestSelectAndSelectEq(t *testing.T) {
 	}
 	if got := SelectEq(sampleTable(), "iter", i(1)).Len(); got != 2 {
 		t.Errorf("selectEq = %d rows", got)
+	}
+	// SelectEq on a generic (non-dense) column
+	if got := SelectEq(sampleTable(), "item", s("b")).Len(); got != 1 {
+		t.Errorf("selectEq item = %d rows", got)
 	}
 }
 
@@ -89,7 +93,7 @@ func TestJoin(t *testing.T) {
 		t.Fatalf("join = %d rows", j.Len())
 	}
 	if j.ColIdx("city") < 0 {
-		t.Fatalf("join cols = %v", j.Cols)
+		t.Fatalf("join cols = %v", j.Cols())
 	}
 	// column collision suffixing
 	jj := Join(orders, orders, "cust", "cust")
@@ -97,7 +101,7 @@ func TestJoin(t *testing.T) {
 		t.Errorf("self join = %d rows", jj.Len())
 	}
 	if jj.ColIdx("cust'") < 0 {
-		t.Errorf("collision cols = %v", jj.Cols)
+		t.Errorf("collision cols = %v", jj.Cols())
 	}
 }
 
@@ -130,7 +134,7 @@ func TestSortBy(t *testing.T) {
 	)
 	s := SortBy(tb, "k")
 	if s.Int(0, 0) != 1 || s.Int(2, 0) != 3 {
-		t.Errorf("sorted = %v", s.Rows)
+		t.Errorf("sorted = %s", s)
 	}
 	// original untouched
 	if tb.Int(0, 0) != 3 {
@@ -177,9 +181,59 @@ func TestGroupCountSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := xdm.NumericValue(gs.Rows[0][1]); v != 4 {
+	if v, _ := xdm.NumericValue(gs.Item(0, 1)); v != 4 {
 		t.Errorf("groupSum = %s", gs)
 	}
+}
+
+// The iter/pos columns of loop-lifted tables must stay in the dense
+// integer representation through the operator pipeline — that is the
+// columnar engine's whole point.
+func TestDenseColumnsStayDense(t *testing.T) {
+	tb := sampleTable()
+	if !tb.vecs[0].dense() || !tb.vecs[1].dense() {
+		t.Fatal("iter/pos not dense after Append")
+	}
+	if tb.vecs[2].dense() {
+		t.Fatal("string item column claims to be dense")
+	}
+	j := Join(tb, tb, "iter", "iter")
+	if !j.vecs[0].dense() {
+		t.Error("join output iter column lost density")
+	}
+	r := RowNum(tb, "n", []string{"iter", "pos"}, "")
+	if !r.vecs[r.ColIdx("n")].dense() {
+		t.Error("rownum rank column is not dense")
+	}
+	u := Union(tb, tb)
+	if !u.vecs[0].dense() {
+		t.Error("union output iter column lost density")
+	}
+	st := SortBy(tb, "pos", "iter")
+	if !st.vecs[0].dense() {
+		t.Error("sort output iter column lost density")
+	}
+}
+
+// Appending a non-integer degrades a dense column without losing data.
+func TestVectorDegrade(t *testing.T) {
+	tb := NewTable("v")
+	tb.Append(i(1))
+	tb.Append(i(2))
+	tb.Append(s("x"))
+	if tb.Len() != 3 || tb.Int(0, 0) != 1 || tb.Item(2, 0).StringValue() != "x" {
+		t.Errorf("degraded column = %s", tb)
+	}
+}
+
+// Operator outputs share vectors and must reject Append.
+func TestFrozenAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Append on a projection did not panic")
+		}
+	}()
+	Project(sampleTable(), "iter").Append(i(9))
 }
 
 // Property: δ is idempotent and never increases cardinality.
@@ -230,7 +284,7 @@ func TestQuickRowNumPermutation(t *testing.T) {
 		}
 		r := RowNum(tb, "n", []string{"v"}, "")
 		seen := map[int64]bool{}
-		for idx := range r.Rows {
+		for idx := 0; idx < r.Len(); idx++ {
 			n := r.Int(idx, r.ColIdx("n"))
 			if n < 1 || n > int64(len(vals)) || seen[n] {
 				return false

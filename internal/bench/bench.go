@@ -10,9 +10,11 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
+	"xrpc/internal/algebra"
 	"xrpc/internal/client"
 	"xrpc/internal/interp"
 	"xrpc/internal/modules"
@@ -452,6 +454,119 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ---------------------------------------------------- algebra microbench
+
+// AlgebraBenchRow is one operator's row of the columnar-vs-row-store
+// microbenchmark (`xrpcbench -table algebra`): the same operator run
+// over the same input in both storage layouts, outputs verified
+// identical.
+type AlgebraBenchRow struct {
+	Op       string
+	Rows     int
+	Columnar time.Duration
+	RowStore time.Duration
+}
+
+// Speedup is row-store time over columnar time.
+func (r *AlgebraBenchRow) Speedup() float64 {
+	if r.Columnar <= 0 {
+		return 0
+	}
+	return float64(r.RowStore) / float64(r.Columnar)
+}
+
+// RunAlgebraBench times the loop-lifting hot operators (⋈ on iter, ρ
+// over (iter, pos), σ, sort) in the columnar engine against the
+// row-store reference at n input rows, best of reps runs. Before
+// timing, each operator pair is checked for identical output. The input
+// shapes come from algebra.Bench*Input, shared with the package's own
+// BenchmarkAlgebra* microbenchmarks.
+func RunAlgebraBench(n, reps int) ([]AlgebraBenchRow, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	mapTbl, varTbl := algebra.BenchJoinInput(n)
+	rm, rv := mapTbl.RowStore(), varTbl.RowStore()
+	seq := algebra.BenchSeqInput(n)
+	rseq := seq.RowStore()
+	boolT := algebra.BenchBoolInput(n)
+	rbool := boolT.RowStore()
+
+	type op struct {
+		name     string
+		columnar func() fmt.Stringer
+		rowstore func() fmt.Stringer
+	}
+	ops := []op{
+		{"join (⋈ on iter)",
+			func() fmt.Stringer { return algebra.Join(mapTbl, varTbl, "outer", algebra.ColIter) },
+			func() fmt.Stringer { return algebra.RowJoin(rm, rv, "outer", algebra.ColIter) }},
+		{"rownum (ρ iter,pos)",
+			func() fmt.Stringer {
+				return algebra.RowNum(seq, "n", []string{algebra.ColIter, algebra.ColPos}, "")
+			},
+			func() fmt.Stringer {
+				return algebra.RowRowNum(rseq, "n", []string{algebra.ColIter, algebra.ColPos}, "")
+			}},
+		{"select (σ bool)",
+			func() fmt.Stringer { return algebra.Select(boolT, "b") },
+			func() fmt.Stringer { return algebra.RowSelect(rbool, "b") }},
+		{"sort (iter,pos)",
+			func() fmt.Stringer { return algebra.SortBy(seq, algebra.ColIter, algebra.ColPos) },
+			func() fmt.Stringer { return algebra.RowSortBy(rseq, algebra.ColIter, algebra.ColPos) }},
+	}
+	var rows []AlgebraBenchRow
+	// each sample amortizes the operator over enough iterations to total
+	// a few milliseconds — single invocations of the cheap operators (σ)
+	// run at µs scale, where one GC pause swamps the measurement
+	best := func(f func() fmt.Stringer) time.Duration {
+		start := time.Now()
+		f() // warm-up, and calibrate the per-sample iteration count
+		once := time.Since(start)
+		iters := 1
+		if once < 2*time.Millisecond {
+			iters = int(2*time.Millisecond/(once+1)) + 1
+		}
+		var min time.Duration
+		for s := 0; s < reps; s++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			d := time.Since(start) / time.Duration(iters)
+			if s == 0 || d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	for _, o := range ops {
+		if c, r := o.columnar().String(), o.rowstore().String(); c != r {
+			return nil, fmt.Errorf("algebra bench %q: columnar and row-store outputs differ", o.name)
+		}
+		runtime.GC() // don't bill one operator for another's garbage
+		col := best(o.columnar)
+		runtime.GC()
+		row := best(o.rowstore)
+		rows = append(rows, AlgebraBenchRow{Op: o.name, Rows: n, Columnar: col, RowStore: row})
+	}
+	return rows, nil
+}
+
+// FormatAlgebraBench renders the microbenchmark rows.
+func FormatAlgebraBench(rows []AlgebraBenchRow) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Algebra operators, columnar vs row-store (%d input rows, best of runs)\n", rows[0].Rows)
+	}
+	fmt.Fprintf(&b, "%-22s %12s %12s %9s\n", "", "columnar", "row-store", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %9.3f ms %9.3f ms %8.2fx\n",
+			r.Op, ms(r.Columnar), ms(r.RowStore), r.Speedup())
+	}
+	return b.String()
 }
 
 // --------------------------------------------------- parallel bulk exec

@@ -50,6 +50,27 @@ func TestTable2Shape(t *testing.T) {
 	_ = bulk1
 }
 
+// The algebra microbenchmark harness must verify columnar/row-store
+// output identity and produce sane timings (its whole point is that the
+// comparison cannot silently diverge).
+func TestAlgebraBenchIdentity(t *testing.T) {
+	rows, err := RunAlgebraBench(2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ops = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Columnar <= 0 || r.RowStore <= 0 {
+			t.Errorf("%s: non-positive timing %v / %v", r.Op, r.Columnar, r.RowStore)
+		}
+	}
+	if s := FormatAlgebraBench(rows); !strings.Contains(s, "speedup") {
+		t.Errorf("format output:\n%s", s)
+	}
+}
+
 func TestTable2FunctionCacheShape(t *testing.T) {
 	// cold cache: the run itself compiles (one miss, no hits before it)
 	env, err := NewTable2Env(0)

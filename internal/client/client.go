@@ -10,6 +10,7 @@ package client
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xrpc/internal/interp"
 	"xrpc/internal/netsim"
@@ -37,10 +38,12 @@ type Client struct {
 	mu    sync.Mutex
 	peers map[string]bool
 
-	// Stats for experiments.
-	Requests int64
-	Sent     int64
-	Received int64
+	// Stats for experiments (atomic: CallParallel dispatches to multiple
+	// destinations concurrently, and experiments may read while a
+	// dispatch is in flight).
+	Requests atomic.Int64
+	Sent     atomic.Int64
+	Received atomic.Int64
 }
 
 // New creates a client over a transport.
@@ -121,11 +124,9 @@ func (c *Client) CallBulk(dest string, br *BulkRequest) ([]xdm.Sequence, error) 
 	}
 	body := soap.EncodeRequest(req)
 	respBody, err := c.Transport.Send(dest, XRPCPath, body)
-	c.mu.Lock()
-	c.Requests++
-	c.Sent += int64(len(body))
-	c.Received += int64(len(respBody))
-	c.mu.Unlock()
+	c.Requests.Add(1)
+	c.Sent.Add(int64(len(body)))
+	c.Received.Add(int64(len(respBody)))
 	if err != nil {
 		return nil, fmt.Errorf("xrpc: send to %s: %w", dest, err)
 	}

@@ -49,8 +49,8 @@ func TestCallSingle(t *testing.T) {
 	if len(seq) != 2 {
 		t.Fatalf("films = %d", len(seq))
 	}
-	if cl.Requests != 1 || cl.Sent == 0 || cl.Received == 0 {
-		t.Errorf("stats = %d/%d/%d", cl.Requests, cl.Sent, cl.Received)
+	if cl.Requests.Load() != 1 || cl.Sent.Load() == 0 || cl.Received.Load() == 0 {
+		t.Errorf("stats = %d/%d/%d", cl.Requests.Load(), cl.Sent.Load(), cl.Received.Load())
 	}
 	peers := cl.Peers()
 	if len(peers) != 1 || peers[0] != "xrpc://y" {
@@ -84,6 +84,55 @@ func TestCallOneAtATimeCount(t *testing.T) {
 	}
 	if len(res[0]) != 2 || len(res[1]) != 0 || len(res[2]) != 1 {
 		t.Errorf("result sizes = %d,%d,%d", len(res[0]), len(res[1]), len(res[2]))
+	}
+}
+
+// The stats counters are mutated by every CallBulk, and CallParallel
+// issues CallBulk from one goroutine per destination — plus experiments
+// read the counters while a dispatch may still be in flight. Run under
+// -race (make race / CI) this pins the counters as data-race-free.
+func TestStatsRaceUnderParallelDispatch(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	const peers = 8
+	var dests []string
+	for p := 0; p < peers; p++ {
+		dest := "xrpc://y" + strings.Repeat("y", p)
+		net.Register(dest, newServer(t))
+		dests = append(dests, dest)
+	}
+	cl := New(net)
+	var parts []*BulkByDest
+	for p, dest := range dests {
+		parts = append(parts, &BulkByDest{
+			Dest: dest,
+			Request: &BulkRequest{
+				ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+				Func: "filmsByActor", Arity: 1,
+				Calls: [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+			},
+			OrigIdx: []int{p},
+		})
+	}
+	done := make(chan struct{})
+	go func() { // concurrent reader, as the experiment harnesses do
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			_ = cl.Requests.Load() + cl.Sent.Load() + cl.Received.Load()
+		}
+	}()
+	res, err := cl.CallParallel(parts, peers)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != peers {
+		t.Fatalf("results = %d", len(res))
+	}
+	if got := cl.Requests.Load(); got != peers {
+		t.Errorf("requests = %d, want %d", got, peers)
+	}
+	if cl.Sent.Load() == 0 || cl.Received.Load() == 0 {
+		t.Errorf("sent/received = %d/%d", cl.Sent.Load(), cl.Received.Load())
 	}
 }
 

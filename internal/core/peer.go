@@ -231,7 +231,7 @@ func (p *Peer) QueryWithVars(q string, vars map[string]xdm.Sequence) (*Result, e
 		return nil, err
 	}
 
-	res := &Result{Sequence: seq, Peers: cl.Peers(), Requests: cl.Requests, Updating: updating}
+	res := &Result{Sequence: seq, Peers: cl.Peers(), Requests: cl.Requests.Load(), Updating: updating}
 	if !updating {
 		return res, nil
 	}

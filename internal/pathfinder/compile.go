@@ -61,7 +61,7 @@ func (c *Compiled) Eval(ec *ExecCtx, vars map[string]xdm.Sequence) (xdm.Sequence
 	for name, seq := range vars {
 		tbl := seqTable()
 		for p, it := range seq {
-			tbl.Append(xdm.Integer(1), xdm.Integer(p+1), it)
+			tbl.AppendSeq(1, int64(p+1), it)
 		}
 		sc = sc.bind(name, tbl)
 	}
@@ -72,8 +72,8 @@ func (c *Compiled) Eval(ec *ExecCtx, vars map[string]xdm.Sequence) (xdm.Sequence
 	sorted := algebra.SortBy(out, algebra.ColIter, algebra.ColPos)
 	xc := sorted.ColIdx(algebra.ColItem)
 	seq := make(xdm.Sequence, 0, sorted.Len())
-	for _, r := range sorted.Rows {
-		seq = append(seq, r[xc])
+	for r := 0; r < sorted.Len(); r++ {
+		seq = append(seq, sorted.Item(r, xc))
 	}
 	return seq, nil
 }
@@ -261,8 +261,8 @@ func (env *staticEnv) compileSeq(n *xq.SeqExpr) (Plan, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, r := range t.Rows {
-				acc.Append(r[0], r[1], r[2], xdm.Integer(bi))
+			for ri := 0; ri < t.Len(); ri++ {
+				acc.Append(t.Item(ri, 0), t.Item(ri, 1), t.Item(ri, 2), xdm.Integer(bi))
 			}
 		}
 		ranked := algebra.RowNum(acc, "newpos", []string{"branch", algebra.ColPos}, algebra.ColIter)
@@ -313,7 +313,7 @@ func (env *staticEnv) compileRange(n *xq.RangeExpr) (Plan, error) {
 			}
 			pos := int64(1)
 			for v := int64(lv.(xdm.Integer)); v <= int64(hv.(xdm.Integer)); v++ {
-				out.Append(xdm.Integer(it), xdm.Integer(pos), xdm.Integer(v))
+				out.AppendSeq(it, pos, xdm.Integer(v))
 				pos++
 			}
 		}
@@ -352,7 +352,7 @@ func binOpPlan(l, r Plan, what string, f func(a, b xdm.Item) (xdm.Sequence, erro
 				return nil, err
 			}
 			for p, item := range res {
-				out.Append(xdm.Integer(it), xdm.Integer(p+1), item)
+				out.AppendSeq(it, int64(p+1), item)
 			}
 		}
 		return out, nil
@@ -458,7 +458,7 @@ func (env *staticEnv) compileComparison(n *xq.Comparison) (Plan, error) {
 			if err != nil {
 				return nil, err
 			}
-			out.Append(xdm.Integer(it), xdm.Integer(1), xdm.Boolean(b))
+			out.AppendSeq(it, 1, xdm.Boolean(b))
 		}
 		return out, nil
 	}, nil
@@ -499,7 +499,7 @@ func (env *staticEnv) compileLogic(n *xq.Logic) (Plan, error) {
 			} else {
 				v = lb[it] || rb[it]
 			}
-			out.Append(xdm.Integer(it), xdm.Integer(1), xdm.Boolean(v))
+			out.AppendSeq(it, 1, xdm.Boolean(v))
 		}
 		return out, nil
 	}, nil
@@ -606,7 +606,7 @@ func (env *staticEnv) compileCastable(n *xq.Castable) (Plan, error) {
 				_, castErr := xdm.CastAtomic(g[0], typ)
 				ok = castErr == nil
 			}
-			out.Append(xdm.Integer(it), xdm.Integer(1), xdm.Boolean(ok))
+			out.AppendSeq(it, 1, xdm.Boolean(ok))
 		}
 		return out, nil
 	}, nil
@@ -626,8 +626,7 @@ func (env *staticEnv) compileInstanceOf(n *xq.InstanceOf) (Plan, error) {
 		groups := groupByIter(t)
 		out := seqTable()
 		for _, it := range itersOf(sc.loop) {
-			out.Append(xdm.Integer(it), xdm.Integer(1),
-				xdm.Boolean(interp.MatchesSeqType(groups[it], typ)))
+			out.AppendSeq(it, 1, xdm.Boolean(interp.MatchesSeqType(groups[it], typ)))
 		}
 		return out, nil
 	}, nil
@@ -848,12 +847,12 @@ func (env *staticEnv) compileClauses(fl *xq.FLWOR, i int) (Plan, error) {
 			binding := seqTable()
 			posBinding := seqTable()
 			q1n := algebra.RowNum(q1, "inner", []string{algebra.ColIter, algebra.ColPos}, "")
-			ii := q1n.ColIdx("inner")
+			inners := q1n.IntsOf("inner")
 			xc := q1n.ColIdx(algebra.ColItem)
 			pc := q1n.ColIdx(algebra.ColPos)
-			for _, r := range q1n.Rows {
-				binding.Append(r[ii], xdm.Integer(1), r[xc])
-				posBinding.Append(r[ii], xdm.Integer(1), r[pc])
+			for ri, in := range inners {
+				binding.AppendSeq(in, 1, q1n.Item(ri, xc))
+				posBinding.AppendSeq(in, 1, q1n.Item(ri, pc))
 			}
 			sc2 = sc2.bind(varName, binding)
 			if posName != "" {

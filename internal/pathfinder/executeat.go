@@ -263,7 +263,7 @@ func execBulkRPC(ec *ExecCtx, sc *scope, dst *algebra.Table, params []*algebra.T
 	out := seqTable()
 	for i, it := range liveIters {
 		for p, item := range results[i] {
-			out.Append(xdm.Integer(it), xdm.Integer(p+1), item)
+			out.AppendSeq(it, int64(p+1), item)
 		}
 	}
 	if trace != nil {

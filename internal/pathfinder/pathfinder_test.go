@@ -212,11 +212,11 @@ func TestLoopLifting_Q5_Tables(t *testing.T) {
 	)
 	// $z = ($x, $y): union with branch tags, renumbered per iter
 	acc := algebra.NewTable("iter", "pos", "item", "branch")
-	for _, r := range x.Rows {
-		acc.Append(r[0], r[1], r[2], xdm.Integer(0))
+	for ri := 0; ri < x.Len(); ri++ {
+		acc.Append(x.Item(ri, 0), x.Item(ri, 1), x.Item(ri, 2), xdm.Integer(0))
 	}
-	for _, r := range y.Rows {
-		acc.Append(r[0], r[1], r[2], xdm.Integer(1))
+	for ri := 0; ri < y.Len(); ri++ {
+		acc.Append(y.Item(ri, 0), y.Item(ri, 1), y.Item(ri, 2), xdm.Integer(1))
 	}
 	ranked := algebra.RowNum(acc, "newpos", []string{"branch", "pos"}, "iter")
 	z := algebra.Project(ranked, "iter", "pos:newpos", "item")
@@ -231,9 +231,8 @@ func TestLoopLifting_Q5_Tables(t *testing.T) {
 		t.Fatalf("z has %d rows", sorted.Len())
 	}
 	for i, w := range want {
-		r := sorted.Rows[i]
-		if int64(r[0].(xdm.Integer)) != w[0] || int64(r[1].(xdm.Integer)) != w[1] || int64(r[2].(xdm.Integer)) != w[2] {
-			t.Errorf("row %d = %v, want %v", i, r, w)
+		if sorted.Int(i, 0) != w[0] || sorted.Int(i, 1) != w[1] || sorted.Int(i, 2) != w[2] {
+			t.Errorf("row %d = %v, want %v", i, sorted.Row(i), w)
 		}
 	}
 }
@@ -395,14 +394,14 @@ return execute at {$dst} {fm:filmsByActor($actor)}`, nil, ec)
 	if req.Len() != 2 {
 		t.Fatalf("req_y rows = %d", req.Len())
 	}
-	if req.Rows[0][2].StringValue() != "Julie Andrews" || req.Rows[1][2].StringValue() != "Sean Connery" {
+	if req.Item(0, 2).StringValue() != "Julie Andrews" || req.Item(1, 2).StringValue() != "Sean Connery" {
 		t.Errorf("req_y =\n%s", req)
 	}
 	// msg_y: The Rock, Goldfinger at iterp 2 (Sean Connery on y)
 	if y.Msg.Len() != 2 {
 		t.Fatalf("msg_y rows = %d:\n%s", y.Msg.Len(), y.Msg)
 	}
-	if y.Msg.Int(0, 0) != 2 || y.Msg.Rows[0][2].StringValue() != "The Rock" {
+	if y.Msg.Int(0, 0) != 2 || y.Msg.Item(0, 2).StringValue() != "The Rock" {
 		t.Errorf("msg_y =\n%s", y.Msg)
 	}
 	// res_y mapped back to iter 3
@@ -419,7 +418,7 @@ return execute at {$dst} {fm:filmsByActor($actor)}`, nil, ec)
 	if final.Len() != 3 {
 		t.Fatalf("result rows = %d", final.Len())
 	}
-	if final.Int(0, 0) != 2 || final.Rows[0][2].StringValue() != "Sound Of Music" {
+	if final.Int(0, 0) != 2 || final.Item(0, 2).StringValue() != "Sound Of Music" {
 		t.Errorf("result =\n%s", final)
 	}
 }

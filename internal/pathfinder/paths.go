@@ -88,12 +88,12 @@ func (env *staticEnv) compilePath(p *xq.Path) (Plan, error) {
 func mapNodes(t *algebra.Table, f func(*xdm.Node) *xdm.Node) *algebra.Table {
 	out := seqTable()
 	xc := t.ColIdx(algebra.ColItem)
-	for _, r := range t.Rows {
-		it := r[xc]
+	for ri := 0; ri < t.Len(); ri++ {
+		it := t.Item(ri, xc)
 		if n, ok := it.(*xdm.Node); ok {
 			it = f(n)
 		}
-		out.Append(r[0], r[1], it)
+		out.Append(t.Item(ri, 0), t.Item(ri, 1), it)
 	}
 	return out
 }
@@ -107,12 +107,12 @@ func execStep(ec *ExecCtx, sc *scope, ctx *algebra.Table, st xq.Step, preds []pr
 		outer int64
 		nodes []*xdm.Node
 	}
-	ic := ctx.ColIdx(algebra.ColIter)
-	xc := ctx.ColIdx(algebra.ColItem)
 	sorted := algebra.SortBy(ctx, algebra.ColIter, algebra.ColPos)
+	iters := sorted.IntsOf(algebra.ColIter)
+	xc := sorted.ColIdx(algebra.ColItem)
 	var groups []candGroup
-	for _, r := range sorted.Rows {
-		n, ok := r[xc].(*xdm.Node)
+	for ri, it := range iters {
+		n, ok := sorted.Item(ri, xc).(*xdm.Node)
 		if !ok {
 			return nil, xdm.NewError("XPTY0004", "path step applied to a non-node")
 		}
@@ -126,7 +126,7 @@ func execStep(ec *ExecCtx, sc *scope, ctx *algebra.Table, st xq.Step, preds []pr
 		for i, q := range pres {
 			nodes[i] = d.Node(q)
 		}
-		groups = append(groups, candGroup{outer: int64(r[ic].(xdm.Integer)), nodes: nodes})
+		groups = append(groups, candGroup{outer: it, nodes: nodes})
 	}
 	// predicates: loop-lifted over all candidates of all groups
 	for _, pp := range preds {
@@ -142,9 +142,9 @@ func execStep(ec *ExecCtx, sc *scope, ctx *algebra.Table, st xq.Step, preds []pr
 				k++
 				inner.Append(xdm.Integer(k))
 				mapTbl.Append(xdm.Integer(k), xdm.Integer(g.outer))
-				dot.Append(xdm.Integer(k), xdm.Integer(1), n)
-				posT.Append(xdm.Integer(k), xdm.Integer(1), xdm.Integer(i+1))
-				lastT.Append(xdm.Integer(k), xdm.Integer(1), xdm.Integer(len(g.nodes)))
+				dot.AppendSeq(k, 1, n)
+				posT.AppendSeq(k, 1, xdm.Integer(i+1))
+				lastT.AppendSeq(k, 1, xdm.Integer(len(g.nodes)))
 			}
 		}
 		sc2 := mapScopeInner(sc, inner, mapTbl)
@@ -179,7 +179,7 @@ func execStep(ec *ExecCtx, sc *scope, ctx *algebra.Table, st xq.Step, preds []pr
 	for _, it := range iterOrder {
 		nodes := xdm.SortDocOrderDedup(perIter[it])
 		for p, n := range nodes {
-			out.Append(xdm.Integer(it), xdm.Integer(p+1), n)
+			out.AppendSeq(it, int64(p+1), n)
 		}
 	}
 	return out, nil
@@ -241,8 +241,8 @@ func rewritePosLast(e xq.Expr) xq.Expr {
 func evalPredKeep(ec *ExecCtx, sc2 *scope, pp predPlan, posT *algebra.Table) (map[int64]bool, error) {
 	keep := map[int64]bool{}
 	posOf := map[int64]int64{}
-	for _, r := range posT.Rows {
-		posOf[int64(r[0].(xdm.Integer))] = int64(r[2].(xdm.Integer))
+	for ri := 0; ri < posT.Len(); ri++ {
+		posOf[posT.Int(ri, 0)] = posT.Int(ri, 2)
 	}
 	if pp.constPos != 0 {
 		for k, p := range posOf {
@@ -280,30 +280,23 @@ func applyPred(ec *ExecCtx, sc *scope, t *algebra.Table, pp predPlan, _ bool) (*
 	dot := seqTable()
 	posT := seqTable()
 	lastT := seqTable()
-	ic := sorted.ColIdx(algebra.ColIter)
+	iters := sorted.IntsOf(algebra.ColIter)
 	xc := sorted.ColIdx(algebra.ColItem)
 	// group sizes per iter
 	sizes := map[int64]int64{}
-	for _, r := range sorted.Rows {
-		sizes[int64(r[ic].(xdm.Integer))]++
+	for _, it := range iters {
+		sizes[it]++
 	}
 	counters := map[int64]int64{}
 	k := int64(0)
-	type rowRef struct {
-		inner int64
-		row   []xdm.Item
-	}
-	var refs []rowRef
-	for _, r := range sorted.Rows {
-		it := int64(r[ic].(xdm.Integer))
+	for ri, it := range iters {
 		counters[it]++
 		k++
 		inner.Append(xdm.Integer(k))
 		mapTbl.Append(xdm.Integer(k), xdm.Integer(it))
-		dot.Append(xdm.Integer(k), xdm.Integer(1), r[xc])
-		posT.Append(xdm.Integer(k), xdm.Integer(1), xdm.Integer(counters[it]))
-		lastT.Append(xdm.Integer(k), xdm.Integer(1), xdm.Integer(sizes[it]))
-		refs = append(refs, rowRef{inner: k, row: r})
+		dot.AppendSeq(k, 1, sorted.Item(ri, xc))
+		posT.AppendSeq(k, 1, xdm.Integer(counters[it]))
+		lastT.AppendSeq(k, 1, xdm.Integer(sizes[it]))
 	}
 	sc2 := mapScopeInner(sc, inner, mapTbl)
 	sc2 = sc2.bind(".", dot).bind("@position", posT).bind("@last", lastT)
@@ -313,13 +306,12 @@ func applyPred(ec *ExecCtx, sc *scope, t *algebra.Table, pp predPlan, _ bool) (*
 	}
 	out := seqTable()
 	newPos := map[int64]int64{}
-	for _, ref := range refs {
-		if !keep[ref.inner] {
+	for ri, it := range iters {
+		if !keep[int64(ri+1)] {
 			continue
 		}
-		it := int64(ref.row[ic].(xdm.Integer))
 		newPos[it]++
-		out.Append(xdm.Integer(it), xdm.Integer(newPos[it]), ref.row[xc])
+		out.AppendSeq(it, newPos[it], sorted.Item(ri, xc))
 	}
 	return out, nil
 }

@@ -122,20 +122,13 @@ func (sc *scope) bind(name string, tbl *algebra.Table) *scope {
 // semi-joined on iter so no rows from pruned iterations survive.
 func (sc *scope) restrict(loop *algebra.Table) *scope {
 	keep := map[int64]bool{}
-	iterCol := loop.ColIdx(algebra.ColIter)
-	for _, r := range loop.Rows {
-		keep[int64(r[iterCol].(xdm.Integer))] = true
+	for _, it := range loop.IntsOf(algebra.ColIter) {
+		keep[it] = true
 	}
 	vars := make(map[string]*algebra.Table, len(sc.vars))
 	for name, tbl := range sc.vars {
-		ic := tbl.ColIdx(algebra.ColIter)
-		out := algebra.NewTable(tbl.Cols...)
-		for _, r := range tbl.Rows {
-			if keep[int64(r[ic].(xdm.Integer))] {
-				out.Rows = append(out.Rows, r)
-			}
-		}
-		vars[name] = out
+		iters := tbl.IntsOf(algebra.ColIter)
+		vars[name] = algebra.Where(tbl, func(row int) bool { return keep[iters[row]] })
 	}
 	return &scope{loop: loop, vars: vars}
 }
@@ -154,9 +147,8 @@ func seqTable() *algebra.Table {
 func constPlan(c xdm.Item) Plan {
 	return func(_ *ExecCtx, sc *scope) (*algebra.Table, error) {
 		out := seqTable()
-		ic := sc.loop.ColIdx(algebra.ColIter)
-		for _, r := range sc.loop.Rows {
-			out.Append(r[ic], xdm.Integer(1), c)
+		for _, it := range itersOf(sc.loop) {
+			out.AppendSeq(it, 1, c)
 		}
 		return out, nil
 	}
@@ -169,26 +161,21 @@ func emptyPlan() Plan {
 	}
 }
 
-// itersOf extracts the set of iter values of a table in loop order.
+// itersOf extracts the set of iter values of a table in loop order. The
+// returned slice may alias the table's dense iter vector: read-only.
 func itersOf(loop *algebra.Table) []int64 {
-	ic := loop.ColIdx(algebra.ColIter)
-	out := make([]int64, len(loop.Rows))
-	for i, r := range loop.Rows {
-		out[i] = int64(r[ic].(xdm.Integer))
-	}
-	return out
+	return loop.IntsOf(algebra.ColIter)
 }
 
 // groupByIter partitions a sorted iter|pos|item table into per-iter
 // sequences.
 func groupByIter(t *algebra.Table) map[int64]xdm.Sequence {
 	sorted := algebra.SortBy(t, algebra.ColIter, algebra.ColPos)
-	ic := sorted.ColIdx(algebra.ColIter)
+	iters := sorted.IntsOf(algebra.ColIter)
 	xc := sorted.ColIdx(algebra.ColItem)
 	out := map[int64]xdm.Sequence{}
-	for _, r := range sorted.Rows {
-		it := int64(r[ic].(xdm.Integer))
-		out[it] = append(out[it], r[xc])
+	for r, it := range iters {
+		out[it] = append(out[it], sorted.Item(r, xc))
 	}
 	return out
 }
@@ -199,7 +186,7 @@ func tableFromSeqs(iters []int64, seqs map[int64]xdm.Sequence) *algebra.Table {
 	out := seqTable()
 	for _, it := range iters {
 		for p, item := range seqs[it] {
-			out.Append(xdm.Integer(it), xdm.Integer(p+1), item)
+			out.AppendSeq(it, int64(p+1), item)
 		}
 	}
 	return out
@@ -208,15 +195,14 @@ func tableFromSeqs(iters []int64, seqs map[int64]xdm.Sequence) *algebra.Table {
 // singletonByIter checks that every iteration has at most one row and
 // returns item-by-iter (missing iter = empty).
 func singletonByIter(t *algebra.Table, what string) (map[int64]xdm.Item, error) {
-	ic := t.ColIdx(algebra.ColIter)
+	iters := t.IntsOf(algebra.ColIter)
 	xc := t.ColIdx(algebra.ColItem)
 	out := map[int64]xdm.Item{}
-	for _, r := range t.Rows {
-		it := int64(r[ic].(xdm.Integer))
+	for r, it := range iters {
 		if _, dup := out[it]; dup {
 			return nil, xdm.Errorf("XPTY0004", "%s is not a singleton in some iteration", what)
 		}
-		out[it] = r[xc]
+		out[it] = t.Item(r, xc)
 	}
 	return out, nil
 }
@@ -237,12 +223,6 @@ func ebvByIter(t *algebra.Table) (map[int64]bool, error) {
 // subLoop returns the loop restricted to iters where keep is true (or
 // false when negate).
 func subLoop(loop *algebra.Table, keep map[int64]bool, want bool) *algebra.Table {
-	ic := loop.ColIdx(algebra.ColIter)
-	out := algebra.NewTable(loop.Cols...)
-	for _, r := range loop.Rows {
-		if keep[int64(r[ic].(xdm.Integer))] == want {
-			out.Rows = append(out.Rows, r)
-		}
-	}
-	return out
+	iters := loop.IntsOf(algebra.ColIter)
+	return algebra.Where(loop, func(row int) bool { return keep[iters[row]] == want })
 }
