@@ -1,19 +1,22 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke ci
+.PHONY: build test vet race bench bench-smoke bench-cluster ci
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so
+# accidental inter-test dependencies surface in CI instead of in prod.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
-# race catches data races in the parallel bulk-execution pipeline.
+# race catches data races in the parallel bulk-execution pipeline, the
+# cluster scatter-gather coordinator, and store snapshot isolation.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # bench reproduces the sequential-vs-parallel bulk execution comparison
 # (BenchmarkBulkExecParallel_* in bench_test.go).
@@ -21,8 +24,16 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkBulkExecParallel' -benchtime 50x .
 
 # bench-smoke compiles and runs every benchmark exactly once so that
-# benchmark code can never rot uncompiled (it is part of ci).
+# benchmark code can never rot uncompiled (it is part of ci). This
+# covers the algebra microbenchmarks and the cluster scatter-gather
+# benchmarks (BenchmarkClusterScatter_*, BenchmarkClusterShardedSemiJoin_*)
+# alongside the paper-table benchmarks.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-cluster reproduces the scatter-gather sweep of
+# `xrpcbench -table cluster` as go benchmarks.
+bench-cluster:
+	$(GO) test -run XXX -bench 'BenchmarkCluster' -benchtime 3x .
 
 ci: build vet race bench-smoke

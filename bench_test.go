@@ -15,6 +15,9 @@ import (
 	"time"
 
 	"xrpc/internal/bench"
+	"xrpc/internal/cluster"
+	"xrpc/internal/modules"
+	"xrpc/internal/netsim"
 	"xrpc/internal/strategies"
 	"xrpc/internal/xmark"
 )
@@ -178,4 +181,51 @@ func BenchmarkBulkExecParallel_W1(b *testing.B) { benchBulkExec(b, 1) }
 func BenchmarkBulkExecParallel_W4(b *testing.B) { benchBulkExec(b, 4) }
 func BenchmarkBulkExecParallel_WMax(b *testing.B) {
 	benchBulkExec(b, runtime.GOMAXPROCS(0))
+}
+
+// runClusterScatter benches the scatter-gather hot path in isolation:
+// deployment, baseline, and identity verification happen once outside
+// the timer; each iteration is one bulk of Q_B3 probes fanned out over
+// n shard peers and merged.
+func runClusterScatter(b *testing.B, peers int) {
+	b.Helper()
+	cfg := xmark.PaperConfig(0.1)
+	reg := modules.NewRegistry()
+	if err := reg.Register(strategies.FunctionsB, "http://example.org/b.xq"); err != nil {
+		b.Fatal(err)
+	}
+	net := netsim.NewNetwork(0, 0)
+	dep, err := cluster.Deploy(net, reg,
+		map[string]string{"auctions.xml": xmark.GenerateAuctions(cfg)},
+		cluster.DeployConfig{Shards: peers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := dep.Coordinator()
+	br := bench.ClusterProbeRequest(cfg)
+	if _, err := co.Scatter(br); err != nil { // warm the function caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.Scatter(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterScatter_P1(b *testing.B) { runClusterScatter(b, 1) }
+func BenchmarkClusterScatter_P4(b *testing.B) { runClusterScatter(b, 4) }
+
+func BenchmarkClusterShardedSemiJoin_P4(b *testing.B) {
+	env, err := strategies.NewShardedEnv(xmark.PaperConfig(0.1), 4, 1, netsim.NewNetwork(benchRTT, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.RunSemiJoin(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

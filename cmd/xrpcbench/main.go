@@ -8,6 +8,7 @@
 //	xrpcbench -table fig1        Figure 1 (Bulk RPC intermediate tables)
 //	xrpcbench -table bulkexec    server-side bulk execution: sequential vs parallel
 //	xrpcbench -table algebra     columnar vs row-store relational operators
+//	xrpcbench -table cluster     scatter-gather Bulk RPC over 1/2/4/8 shard peers
 //	xrpcbench -table all         everything
 //
 // The -scale flag scales the XMark data (1.0 = the paper's 250 persons /
@@ -28,7 +29,8 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which experiment: 2, 3, 4, throughput, fig1, all")
+	table := flag.String("table", "all",
+		"which experiment: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, all")
 	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
 	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
@@ -73,6 +75,29 @@ func main() {
 			return runAlgebra(*rows)
 		})
 	}
+	if all || *table == "cluster" {
+		run("Cluster scatter-gather (1/2/4/8 shard peers)", func() error {
+			return runCluster(*scale, *rtt)
+		})
+	}
+}
+
+// runCluster sweeps the scatter-gather coordinator over 1, 2, 4, and 8
+// shard peers for the probe and scan workloads. At every peer count the
+// merged response is verified byte-identical to the unsharded
+// single-peer response before any timing happens; the per-shard byte
+// columns show the partitioner splitting traffic across the cluster.
+func runCluster(scale float64, rtt time.Duration) error {
+	cfg := xmark.PaperConfig(scale)
+	fmt.Printf("XMark: %d persons, %d closed auctions; rtt %v, %d MB/s links\n",
+		cfg.Persons, cfg.ClosedAuctions, rtt, bench.ClusterBandwidth/(1024*1024))
+	results, err := bench.RunClusterBench(cfg, []int{1, 2, 4, 8}, rtt, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatClusterBench(results))
+	fmt.Println("\nmerged responses verified byte-identical to the unsharded single-peer response at every peer count")
+	return nil
 }
 
 // runAlgebra contrasts the columnar vectorized operators with the

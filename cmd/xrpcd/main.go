@@ -7,6 +7,12 @@
 // Every *.xml file in -docs is loaded into the store under its base
 // name; every *.xq file in -modules is registered under its declared
 // namespace URI (and its file name as a location hint).
+//
+// A peer can serve one shard of a larger cluster: with -shard k -of n,
+// every loaded document is partitioned into n subtree ranges and only
+// range k is kept. A scatter-gather coordinator (internal/cluster)
+// pointed at all n peers then answers read-only bulk requests exactly
+// like one peer holding the unsharded documents.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"xrpc/internal/client"
+	"xrpc/internal/cluster"
 	"xrpc/internal/core"
 )
 
@@ -30,20 +37,37 @@ func main() {
 	modsDir := flag.String("modules", "", "directory of *.xq modules to register")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker pool size for bulk request execution (<=1 = sequential)")
+	shard := flag.Int("shard", 0, "serve shard index [0,n) of each loaded document (with -of)")
+	of := flag.Int("of", 0, "total number of shards (0 = unsharded)")
+	rpcTimeout := flag.Duration("rpc-timeout", client.DefaultHTTPTimeout,
+		"timeout for outgoing XRPC-over-HTTP requests (0 = none)")
 	flag.Parse()
 
+	if *of == 0 && *shard != 0 {
+		log.Fatalf("-shard %d without -of: the total shard count is required", *shard)
+	}
+	if *of < 0 || (*of > 0 && (*shard < 0 || *shard >= *of)) {
+		log.Fatalf("-shard %d -of %d: shard index must be in [0,%d)", *shard, *of, *of)
+	}
 	if *self == "" {
 		*self = "xrpc://localhost" + *addr
 	}
-	peer := core.NewPeer(*self, client.NewHTTPTransport())
+	peer := core.NewPeer(*self, client.NewHTTPTransportTimeout(*rpcTimeout))
 	peer.SetParallelism(*parallel)
+	if *of > 0 {
+		peer.Server.Shard, peer.Server.Shards = *shard, *of
+	}
 
 	if *docsDir != "" {
-		n, err := loadDocs(peer, *docsDir)
+		n, err := loadDocs(peer, *docsDir, *shard, *of)
 		if err != nil {
 			log.Fatalf("loading documents: %v", err)
 		}
-		log.Printf("loaded %d document(s) from %s", n, *docsDir)
+		if *of > 0 {
+			log.Printf("loaded shard %d/%d of %d document(s) from %s", *shard, *of, n, *docsDir)
+		} else {
+			log.Printf("loaded %d document(s) from %s", n, *docsDir)
+		}
 	}
 	if *modsDir != "" {
 		n, err := loadModules(peer, *modsDir)
@@ -56,13 +80,21 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/xrpc", peer.HTTPHandler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "XRPC peer %s\ndocuments: %v\n", *self, peer.Store.Names())
+		fmt.Fprintf(w, "XRPC peer %s\n", *self)
+		if *of > 0 {
+			fmt.Fprintf(w, "shard: %d of %d\n", *shard, *of)
+		}
+		fmt.Fprintf(w, "documents: %v\n", peer.Store.Names())
 	})
-	log.Printf("XRPC peer %s listening on %s (POST /xrpc)", *self, *addr)
+	if *of > 0 {
+		log.Printf("XRPC peer %s (shard %d/%d) listening on %s (POST /xrpc)", *self, *shard, *of, *addr)
+	} else {
+		log.Printf("XRPC peer %s listening on %s (POST /xrpc)", *self, *addr)
+	}
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-func loadDocs(peer *core.Peer, dir string) (int, error) {
+func loadDocs(peer *core.Peer, dir string, shard, of int) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return 0, err
@@ -76,7 +108,14 @@ func loadDocs(peer *core.Peer, dir string) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		if err := peer.LoadDocument(e.Name(), string(text)); err != nil {
+		doc := string(text)
+		if of > 0 {
+			doc, err = cluster.PartitionShard(e.Name(), doc, shard, of)
+			if err != nil {
+				return n, err
+			}
+		}
+		if err := peer.LoadDocument(e.Name(), doc); err != nil {
 			return n, fmt.Errorf("%s: %w", e.Name(), err)
 		}
 		n++

@@ -323,7 +323,7 @@ func RunTable3Fns(fns []string, xs []int, cfg xmark.Config) ([]Table3Row, error)
 			for i := 0; i < x; i++ {
 				if fn == "getPerson" {
 					req.Arity = 2
-					pid := fmt.Sprintf("person%d", i%maxInt(cfg.Persons, 1))
+					pid := xmark.PersonID(i % maxInt(cfg.Persons, 1))
 					req.Calls = append(req.Calls, []xdm.Sequence{
 						{xdm.String("xmark.xml")}, {xdm.String(pid)},
 					})
@@ -606,7 +606,7 @@ func NewBulkExecEnv(calls int, cfg xmark.Config) (*BulkExecEnv, error) {
 		Location: "http://example.org/functions.xq",
 	}
 	for i := 0; i < calls; i++ {
-		pid := fmt.Sprintf("person%d", i%maxInt(cfg.Persons, 1))
+		pid := xmark.PersonID(i % maxInt(cfg.Persons, 1))
 		req.Calls = append(req.Calls, []xdm.Sequence{
 			{xdm.String("xmark.xml")}, {xdm.String(pid)},
 		})

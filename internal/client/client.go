@@ -184,6 +184,17 @@ type BulkByDest struct {
 // parallel Bulk RPC with mapping tables). Results[origIdx] receives the
 // corresponding sequence.
 func (c *Client) CallParallel(parts []*BulkByDest, total int) ([]xdm.Sequence, error) {
+	return DispatchParallel(c.CallBulk, parts, total)
+}
+
+// DispatchParallel fans parts out concurrently through callBulk and
+// re-unites results in original call order; when several parts fail,
+// the error of the lowest part index is returned, deterministically.
+// Shared by Client.CallParallel and the cluster coordinator (whose
+// callBulk may itself scatter a part across shards).
+func DispatchParallel(callBulk func(dest string, br *BulkRequest) ([]xdm.Sequence, error),
+	parts []*BulkByDest, total int) ([]xdm.Sequence, error) {
+
 	results := make([]xdm.Sequence, total)
 	var wg sync.WaitGroup
 	errs := make([]error, len(parts))
@@ -191,7 +202,7 @@ func (c *Client) CallParallel(parts []*BulkByDest, total int) ([]xdm.Sequence, e
 		wg.Add(1)
 		go func(i int, part *BulkByDest) {
 			defer wg.Done()
-			res, err := c.CallBulk(part.Dest, part.Request)
+			res, err := callBulk(part.Dest, part.Request)
 			if err != nil {
 				errs[i] = err
 				return

@@ -9,21 +9,79 @@ import (
 	"time"
 )
 
+// DefaultHTTPTimeout bounds one XRPC request/response exchange.
+const DefaultHTTPTimeout = 30 * time.Second
+
 // HTTPTransport sends XRPC messages over real HTTP (SOAP over HTTP
 // POST, as the paper's protocol specifies). Destination URIs use the
 // xrpc:// scheme and are rewritten to http://host[:port]; a destination
 // that already has an http:// scheme is used as-is.
 type HTTPTransport struct {
-	// Client is the underlying HTTP client (default: 30 s timeout).
+	// Client is the underlying HTTP client. NewHTTPTransport installs a
+	// tuned, shared http.Transport; a nil Client falls back to one
+	// lazily via the package-level default.
 	Client *http.Client
 }
 
-// NewHTTPTransport creates a transport with a default client.
-func NewHTTPTransport() *HTTPTransport {
-	return &HTTPTransport{Client: &http.Client{Timeout: 30 * time.Second}}
+// sharedTransport is the fallback connection pool for transports built
+// without NewHTTPTransport, so even zero-value HTTPTransports reuse
+// connections instead of building a client per call path.
+var sharedTransport = newPooledTransport()
+
+// newPooledTransport returns an http.Transport tuned for scatter-gather
+// fan-out: keep-alives on, and enough idle connections per host that a
+// coordinator repeatedly hitting the same N shard peers never
+// re-handshakes in steady state.
+func newPooledTransport() *http.Transport {
+	return &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
 }
 
-// Send implements netsim.Transport over HTTP.
+// NewHTTPTransport creates a transport with the default timeout.
+func NewHTTPTransport() *HTTPTransport {
+	return NewHTTPTransportTimeout(DefaultHTTPTimeout)
+}
+
+// NewHTTPTransportTimeout creates a transport whose requests time out
+// after the given duration (0 = no timeout). Each transport owns one
+// pooled http.Transport, reused across all sends.
+func NewHTTPTransportTimeout(timeout time.Duration) *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{
+		Timeout:   timeout,
+		Transport: newPooledTransport(),
+	}}
+}
+
+// HTTPError reports a non-2xx HTTP response. It is a transport-level
+// failure (the peer's XRPC endpoint did not answer: XRPC errors travel
+// as SOAP faults inside 200 responses), so cluster coordinators treat
+// it as grounds for replica failover.
+type HTTPError struct {
+	StatusCode int
+	Status     string
+	// Body is the response body, truncated to a diagnostic-sized
+	// prefix.
+	Body string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("xrpc http: %s", e.Status)
+	}
+	return fmt.Sprintf("xrpc http: %s: %s", e.Status, e.Body)
+}
+
+// errBodyLimit bounds how much of a failed response body travels in an
+// HTTPError.
+const errBodyLimit = 512
+
+// Send implements netsim.Transport over HTTP. Non-2xx responses are
+// errors carrying the status and a truncated body — never a success
+// payload.
 func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 	url := dest
 	if strings.HasPrefix(url, "xrpc://") {
@@ -35,13 +93,24 @@ func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 	url = strings.TrimRight(url, "/") + path
 	cl := t.Client
 	if cl == nil {
-		cl = &http.Client{Timeout: 30 * time.Second}
+		cl = &http.Client{Timeout: DefaultHTTPTimeout, Transport: sharedTransport}
 	}
 	resp, err := cl.Post(url, "application/soap+xml; charset=utf-8", bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("xrpc http: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		trunc, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+		// drain the remainder so the keep-alive connection returns to
+		// the pool instead of being torn down
+		io.Copy(io.Discard, resp.Body)
+		return nil, &HTTPError{
+			StatusCode: resp.StatusCode,
+			Status:     resp.Status,
+			Body:       strings.TrimSpace(string(trunc)),
+		}
+	}
 	out, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("xrpc http: reading response: %w", err)

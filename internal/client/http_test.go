@@ -1,0 +1,102 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHTTPTransportNon2xxIsAnError(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "service melting down: "+strings.Repeat("x", 2000), http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	out, err := NewHTTPTransport().Send(hs.URL, "/xrpc", []byte("<req/>"))
+	if err == nil {
+		t.Fatalf("non-2xx response returned as success payload: %q", out)
+	}
+	var httpErr *HTTPError
+	if !errors.As(err, &httpErr) {
+		t.Fatalf("want *HTTPError, got %T: %v", err, err)
+	}
+	if httpErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", httpErr.StatusCode)
+	}
+	if !strings.Contains(httpErr.Body, "service melting down") {
+		t.Fatalf("error body lost the diagnostic: %q", httpErr.Body)
+	}
+	if len(httpErr.Body) > errBodyLimit {
+		t.Fatalf("error body not truncated: %d bytes", len(httpErr.Body))
+	}
+}
+
+func TestHTTPTransportReusesConnections(t *testing.T) {
+	var conns atomic.Int64
+	hs := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<resp/>"))
+	}))
+	hs.Config.ConnState = func(c net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	hs.Start()
+	defer hs.Close()
+
+	tr := NewHTTPTransport()
+	for i := 0; i < 8; i++ {
+		if _, err := tr.Send(hs.URL, "/xrpc", []byte("<req/>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("8 sequential sends used %d connections, want 1 (keep-alive pool)", got)
+	}
+}
+
+func TestHTTPTransportConfigurableTimeout(t *testing.T) {
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer hs.Close()
+	defer close(release) // unblock the handler before hs.Close waits on it
+
+	tr := NewHTTPTransportTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err := tr.Send(hs.URL, "/xrpc", []byte("<req/>"))
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout not honored: took %v", elapsed)
+	}
+}
+
+func TestHTTPTransportSchemeRewrite(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/xrpc" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("<resp/>"))
+	}))
+	defer hs.Close()
+
+	host := strings.TrimPrefix(hs.URL, "http://")
+	for _, dest := range []string{hs.URL, "xrpc://" + host, host} {
+		out, err := NewHTTPTransport().Send(dest, "/xrpc", []byte("<req/>"))
+		if err != nil {
+			t.Fatalf("dest %q: %v", dest, err)
+		}
+		if string(out) != "<resp/>" {
+			t.Fatalf("dest %q: response %q", dest, out)
+		}
+	}
+}

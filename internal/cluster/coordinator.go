@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"xrpc/internal/client"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+)
+
+// DefaultClusterURI is the virtual destination that triggers
+// scatter-gather dispatch in a Coordinator.
+const DefaultClusterURI = "xrpc://cluster"
+
+// Coordinator fans read-only Bulk RPC requests out across the shards of
+// a routing table and merges the responses. It implements
+// pathfinder.BulkCaller: requests addressed to ClusterURI are scattered
+// to every shard, any other destination passes through to the
+// underlying client unchanged — so a query can mix sharded and direct
+// execute-at destinations.
+//
+// Merge semantics make the cluster look like one peer holding the whole
+// document: result i of the merged response is the concatenation, in
+// shard order, of every shard's result i. Because the partitioner cuts
+// contiguous subtree ranges, shard order is document order, and the
+// merged response is byte-identical to a single-peer execution of the
+// same bulk request against the unsharded document.
+//
+// Error semantics mirror the server's parallel bulk executor: when
+// several shards fail (after replica failover), the error of the
+// lowest shard index is reported, deterministically.
+type Coordinator struct {
+	// ClusterURI is the virtual scatter-gather destination
+	// (DefaultClusterURI if empty).
+	ClusterURI string
+	// Table routes shard index → replica peer URIs.
+	Table *RoutingTable
+	// Client performs the actual sends (and keeps the traffic stats).
+	Client *client.Client
+}
+
+// NewCoordinator builds a coordinator over a routing table and client.
+func NewCoordinator(rt *RoutingTable, cl *client.Client) *Coordinator {
+	return &Coordinator{ClusterURI: DefaultClusterURI, Table: rt, Client: cl}
+}
+
+func (co *Coordinator) clusterURI() string {
+	if co.ClusterURI == "" {
+		return DefaultClusterURI
+	}
+	return co.ClusterURI
+}
+
+// CallBulk implements pathfinder.BulkCaller. The cluster URI scatters;
+// everything else passes through.
+func (co *Coordinator) CallBulk(dest string, br *client.BulkRequest) ([]xdm.Sequence, error) {
+	if dest != co.clusterURI() {
+		return co.Client.CallBulk(dest, br)
+	}
+	return co.Scatter(br)
+}
+
+// CallOneAtATime implements pathfinder.BulkCaller (the Table 2
+// comparison mechanism): one scattered request per call.
+func (co *Coordinator) CallOneAtATime(dest string, br *client.BulkRequest) ([]xdm.Sequence, error) {
+	if dest != co.clusterURI() {
+		return co.Client.CallOneAtATime(dest, br)
+	}
+	out := make([]xdm.Sequence, 0, len(br.Calls))
+	for _, call := range br.Calls {
+		single := *br
+		single.Calls = [][]xdm.Sequence{call}
+		single.SeqNrs = nil
+		res, err := co.Scatter(&single)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res[0])
+	}
+	return out, nil
+}
+
+// CallParallel implements pathfinder.BulkCaller: parts are dispatched
+// concurrently (each part may itself be a scatter), results re-united
+// in original call order, and the error of the lowest part index wins.
+func (co *Coordinator) CallParallel(parts []*client.BulkByDest, total int) ([]xdm.Sequence, error) {
+	return client.DispatchParallel(co.CallBulk, parts, total)
+}
+
+// Scatter sends the bulk request to every shard concurrently and merges
+// the responses in shard order. Only read-only requests are
+// scatterable: an updating call would apply its side effects once per
+// shard.
+func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
+	if br.Updating {
+		return nil, xdm.NewError("XRPC0007",
+			"cluster: updating bulk requests cannot be scatter-gathered")
+	}
+	if co.Table == nil || !co.Table.Complete() {
+		return nil, xdm.NewError("XRPC0007", "cluster: incomplete routing table")
+	}
+	n := co.Table.NumShards()
+	perShard := make([][]xdm.Sequence, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			perShard[s], errs[s] = co.callShard(s, br)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+	}
+	merged := make([]xdm.Sequence, len(br.Calls))
+	for i := range merged {
+		var seq xdm.Sequence
+		for s := 0; s < n; s++ {
+			seq = append(seq, perShard[s][i]...)
+		}
+		merged[i] = seq
+	}
+	return merged, nil
+}
+
+// callShard sends the request to the shard's primary and walks the
+// replica list on transport-level failures. Application errors (SOAP
+// faults) are definitive: every replica holds the same shard, so a
+// fault would only repeat.
+func (co *Coordinator) callShard(shard int, br *client.BulkRequest) ([]xdm.Sequence, error) {
+	replicas := co.Table.Replicas(shard)
+	var lastErr error
+	for _, uri := range replicas {
+		res, err := co.Client.CallBulk(uri, br)
+		if err == nil {
+			return res, nil
+		}
+		var fault *soap.Fault
+		if errors.As(err, &fault) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("all %d replica(s) unreachable: %w", len(replicas), lastErr)
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+
+	"xrpc/internal/client"
+	"xrpc/internal/interp"
+	"xrpc/internal/modules"
+	"xrpc/internal/netsim"
+	"xrpc/internal/server"
+	"xrpc/internal/store"
+)
+
+// DeployConfig parameterizes an in-process sharded deployment.
+type DeployConfig struct {
+	// Shards is the number of partitions (≥ 1).
+	Shards int
+	// Replication is how many identical peers serve each shard (≥ 1).
+	// Replicas hold the same shard documents; the coordinator fails
+	// over to them when the primary is unreachable.
+	Replication int
+	// URIPrefix names the peers: shard s replica j is registered as
+	// "<prefix><s>" (j = 0) or "<prefix><s>.r<j>". Default
+	// "xrpc://shard".
+	URIPrefix string
+	// Parallelism, when > 1, sizes each shard server's bulk execution
+	// worker pool.
+	Parallelism int
+}
+
+// Deployment is a set of shard peers registered on one netsim.Network,
+// plus the routing table that addresses them. The same Coordinator code
+// drives real HTTP peers instead by building a RoutingTable of
+// http:// URIs by hand (see TestCoordinatorOverHTTP).
+type Deployment struct {
+	Net   *netsim.Network
+	Table *RoutingTable
+	// Servers[s][j] is replica j of shard s; Stores[s][j] its store.
+	Servers [][]*server.Server
+	Stores  [][]*store.Store
+}
+
+// Deploy partitions every document in docs across cfg.Shards shard
+// peers (each backed by its own store.Store and native executor,
+// sharing the module registry) and registers them on the network.
+func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, cfg DeployConfig) (*Deployment, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: deploy with %d shards", cfg.Shards)
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.URIPrefix == "" {
+		cfg.URIPrefix = "xrpc://shard"
+	}
+	rt, err := NewRoutingTable(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	dep := &Deployment{
+		Net:     net,
+		Table:   rt,
+		Servers: make([][]*server.Server, cfg.Shards),
+		Stores:  make([][]*store.Store, cfg.Shards),
+	}
+	// partition once per document, reused by every replica of a shard
+	parts := make(map[string][]string, len(docs))
+	for name, xml := range docs {
+		p, err := Partition(name, xml, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		parts[name] = p
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		for j := 0; j < cfg.Replication; j++ {
+			uri := fmt.Sprintf("%s%d", cfg.URIPrefix, s)
+			if j > 0 {
+				uri = fmt.Sprintf("%s.r%d", uri, j)
+			}
+			st := store.New()
+			for name := range docs {
+				if err := st.LoadXML(name, parts[name][s]); err != nil {
+					return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+				}
+			}
+			srv := server.New(st, reg, server.NewNativeExecutor(interp.New(st, reg, nil), reg))
+			srv.Self = uri
+			srv.Shard, srv.Shards = s, cfg.Shards
+			if cfg.Parallelism > 1 {
+				srv.SetParallelism(cfg.Parallelism)
+			}
+			net.Register(uri, srv)
+			if err := rt.Add(s, uri); err != nil {
+				return nil, err
+			}
+			dep.Servers[s] = append(dep.Servers[s], srv)
+			dep.Stores[s] = append(dep.Stores[s], st)
+		}
+	}
+	return dep, nil
+}
+
+// Coordinator returns a scatter-gather coordinator over this
+// deployment's routing table, sending through a fresh client on the
+// deployment's network.
+func (d *Deployment) Coordinator() *Coordinator {
+	return NewCoordinator(d.Table, client.New(d.Net))
+}
+
+// ShardURIs returns the primary URI of every shard, in shard order.
+func (d *Deployment) ShardURIs() []string {
+	out := make([]string, d.Table.NumShards())
+	for s := range out {
+		out[s] = d.Table.Primary(s)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package cluster adds a horizontal scaling layer on top of the XRPC
+// stack: a partitioner that splits a document across N shard peers by
+// subtree ranges, a routing table mapping shards to replicated peer
+// URIs, and a scatter-gather coordinator that fans one read-only Bulk
+// RPC out to every shard and merges the responses so that the merged
+// result is indistinguishable from a single peer holding the whole
+// document.
+//
+// The paper's Bulk RPC amortizes per-call network cost between two
+// peers; this package amortizes document size across many. Partitioning
+// plus parallel scan is the classic lever once single-node operator
+// speed is exhausted (cf. Szépkúti, "On the Scalability of
+// Multidimensional Databases"): each shard peer scans 1/N of the data,
+// the coordinator ships 1/N of the result bytes per link, and shard
+// responses travel concurrently.
+//
+// The coordinator implements pathfinder.BulkCaller, so the whole
+// loop-lifting pipeline is cluster-transparent: an `execute at
+// {"xrpc://cluster"}` inside a for-loop loop-lifts into ONE bulk
+// request, which the coordinator scatters to all shards.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"xrpc/internal/xdm"
+)
+
+// Partition splits an XML document into n shard documents by subtree
+// ranges. A "container" is an element whose element children all share
+// one name (with at most whitespace text between them) — people/person,
+// closed_auctions/closed_auction, films/film. Shard k of n receives the
+// k-th contiguous slice of every container's children, so concatenating
+// per-shard query results in shard order reproduces document order.
+//
+// Content outside containers (the enclosing structure, and any document
+// with no repeated subtrees at all) is replicated to every shard:
+// small reference documents stay fully available next to the sharded
+// fact data, at the cost of scatter-gather identity only holding for
+// queries that select inside partitioned containers.
+func Partition(name, xml string, n int) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: partition into %d shards", n)
+	}
+	doc, err := xdm.ParseDocument(name, xml)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: partition %s: %w", name, err)
+	}
+	out := make([]string, n)
+	for k := 0; k < n; k++ {
+		out[k] = xdm.SerializeNode(shardTree(doc, k, n))
+	}
+	return out, nil
+}
+
+// PartitionShard returns only shard k of n (what one xrpcd -shard k
+// -of n peer loads), without materializing the other shards.
+func PartitionShard(name, xml string, k, n int) (string, error) {
+	if k < 0 || k >= n {
+		return "", fmt.Errorf("cluster: shard %d out of range [0,%d)", k, n)
+	}
+	doc, err := xdm.ParseDocument(name, xml)
+	if err != nil {
+		return "", fmt.Errorf("cluster: partition %s: %w", name, err)
+	}
+	return xdm.SerializeNode(shardTree(doc, k, n)), nil
+}
+
+// isContainer reports whether n's children are a run of same-named
+// elements (≥2, whitespace-only text between them) — a partitionable
+// repeated subtree.
+func isContainer(n *xdm.Node) bool {
+	name := ""
+	elems := 0
+	for _, c := range n.Children {
+		switch c.Kind {
+		case xdm.ElementNode:
+			if elems == 0 {
+				name = c.Name
+			} else if c.Name != name {
+				return false
+			}
+			elems++
+		case xdm.TextNode:
+			if strings.TrimSpace(c.Value) != "" {
+				return false // mixed content is never partitioned
+			}
+		}
+	}
+	return elems >= 2
+}
+
+// shardTree builds shard k's copy of the tree under n: containers keep
+// only their k-th child range (copied whole, nested repeats intact),
+// everything else is copied verbatim and recursed into.
+func shardTree(n *xdm.Node, k, shards int) *xdm.Node {
+	c := &xdm.Node{Kind: n.Kind, Name: n.Name, Value: n.Value, TypeAnn: n.TypeAnn}
+	for _, a := range n.Attrs {
+		c.SetAttr(xdm.NewAttribute(a.Name, a.Value))
+	}
+	if n.Kind != xdm.DocumentNode && n.Kind != xdm.ElementNode {
+		return c
+	}
+	if isContainer(n) {
+		kids := n.ChildElements()
+		lo, hi := k*len(kids)/shards, (k+1)*len(kids)/shards
+		for _, ch := range kids[lo:hi] {
+			cc := ch.Clone()
+			c.AppendChild(cc)
+		}
+		return c
+	}
+	for _, ch := range n.Children {
+		c.AppendChild(shardTree(ch, k, shards))
+	}
+	return c
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RoutingTable maps shard index → peer URIs. Each shard has one or more
+// replicas (primary first); the coordinator fails over to the next
+// replica when a peer is unreachable at the transport level. The table
+// is URI-scheme agnostic: the same table drives simulated peers on a
+// netsim.Network and real HTTP peers (xrpcd -shard k -of n).
+type RoutingTable struct {
+	mu       sync.RWMutex
+	replicas [][]string
+}
+
+// NewRoutingTable creates an empty table for n shards.
+func NewRoutingTable(n int) (*RoutingTable, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: routing table for %d shards", n)
+	}
+	return &RoutingTable{replicas: make([][]string, n)}, nil
+}
+
+// Add registers a peer URI serving the given shard. The first peer
+// added for a shard is its primary; later peers are failover replicas
+// in registration order.
+func (rt *RoutingTable) Add(shard int, uri string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if shard < 0 || shard >= len(rt.replicas) {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, len(rt.replicas))
+	}
+	rt.replicas[shard] = append(rt.replicas[shard], uri)
+	return nil
+}
+
+// NumShards returns the number of shards the table routes.
+func (rt *RoutingTable) NumShards() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.replicas)
+}
+
+// Replicas returns the peer URIs serving the shard, primary first.
+func (rt *RoutingTable) Replicas(shard int) []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if shard < 0 || shard >= len(rt.replicas) {
+		return nil
+	}
+	out := make([]string, len(rt.replicas[shard]))
+	copy(out, rt.replicas[shard])
+	return out
+}
+
+// Primary returns the primary peer URI of the shard ("" if none).
+func (rt *RoutingTable) Primary(shard int) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if shard < 0 || shard >= len(rt.replicas) || len(rt.replicas[shard]) == 0 {
+		return ""
+	}
+	return rt.replicas[shard][0]
+}
+
+// ReplicationFactor returns the smallest replica count across shards
+// (0 if any shard has no peer — an incomplete table).
+func (rt *RoutingTable) ReplicationFactor() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	min := -1
+	for _, r := range rt.replicas {
+		if min == -1 || len(r) < min {
+			min = len(r)
+		}
+	}
+	if min == -1 {
+		min = 0
+	}
+	return min
+}
+
+// Complete reports whether every shard has at least one peer.
+func (rt *RoutingTable) Complete() bool { return rt.ReplicationFactor() >= 1 }

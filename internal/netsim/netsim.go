@@ -40,8 +40,9 @@ type Stats struct {
 // Network is an in-process network connecting registered peers, with
 // simulated latency and bandwidth.
 type Network struct {
-	mu    sync.RWMutex
-	peers map[string]Handler
+	mu      sync.RWMutex
+	peers   map[string]Handler
+	perPeer map[string]*Stats
 
 	// RTT is the per-request round-trip latency (paper LAN: ~0.1-1ms;
 	// WAN: tens of ms). Applied once per Send.
@@ -107,7 +108,59 @@ func (n *Network) Send(dest, path string, body []byte) ([]byte, error) {
 	n.Stats.Requests.Add(1)
 	n.Stats.BytesSent.Add(int64(len(body)))
 	n.Stats.BytesReceived.Add(int64(len(resp)))
+	ps := n.peerStats(dest)
+	ps.Requests.Add(1)
+	ps.BytesSent.Add(int64(len(body)))
+	ps.BytesReceived.Add(int64(len(resp)))
 	return resp, nil
+}
+
+func (n *Network) peerStats(dest string) *Stats {
+	// fast path: steady-state sends only take the read lock, keeping
+	// concurrent scatter traffic free of writer serialization
+	n.mu.RLock()
+	ps, ok := n.perPeer[dest]
+	n.mu.RUnlock()
+	if ok {
+		return ps
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.perPeer == nil {
+		n.perPeer = map[string]*Stats{}
+	}
+	if ps, ok = n.perPeer[dest]; !ok {
+		ps = &Stats{}
+		n.perPeer[dest] = ps
+	}
+	return ps
+}
+
+// PeerStats returns the per-destination traffic counters for dest
+// (zeroes if the destination has seen no traffic). Experiments use this
+// to show how scatter-gather splits bytes across shard peers.
+func (n *Network) PeerStats(dest string) (requests, sent, received int64) {
+	n.mu.RLock()
+	ps, ok := n.perPeer[dest]
+	n.mu.RUnlock()
+	if !ok {
+		return 0, 0, 0
+	}
+	return ps.Requests.Load(), ps.BytesSent.Load(), ps.BytesReceived.Load()
+}
+
+// ResetStats zeroes the aggregate and per-peer traffic counters.
+func (n *Network) ResetStats() {
+	n.Stats.Requests.Store(0)
+	n.Stats.BytesSent.Store(0)
+	n.Stats.BytesReceived.Store(0)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ps := range n.perPeer {
+		ps.Requests.Store(0)
+		ps.BytesSent.Store(0)
+		ps.BytesReceived.Store(0)
+	}
 }
 
 // HandlerFunc adapts a function to the Handler interface.

@@ -58,6 +58,11 @@ type Server struct {
 	NewRPC RPCFactory
 	// Self is this peer's URI, echoed in fault diagnostics.
 	Self string
+	// Shard and Shards describe this peer's slot in a sharded
+	// deployment (0 ≤ Shard < Shards); Shards == 0 means unsharded.
+	// Reported by the shardInfo system call so coordinators can verify
+	// cluster membership.
+	Shard, Shards int
 	// Now is the clock (replaceable in tests).
 	Now func() time.Time
 
@@ -236,6 +241,14 @@ func (s *Server) handleSystem(req *soap.Request) ([]byte, error) {
 		seq := make(xdm.Sequence, len(names))
 		for i, n := range names {
 			seq[i] = xdm.String(n)
+		}
+		return soap.EncodeResponse(&soap.Response{
+			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
+		}), nil
+	case "shardInfo":
+		seq := xdm.Sequence{xdm.Integer(int64(s.Shard)), xdm.Integer(int64(s.Shards))}
+		for _, n := range s.Store.Names() {
+			seq = append(seq, xdm.String(n))
 		}
 		return soap.EncodeResponse(&soap.Response{
 			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},

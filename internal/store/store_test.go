@@ -115,3 +115,103 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("docs = %d", len(s.Names()))
 	}
 }
+
+// TestSnapshotRepeatableReadUnderConcurrentUpdates pins rule R'_Fr
+// under write pressure: readers take snapshots and re-read their
+// documents while writers concurrently swap new document versions in.
+// Every read through one snapshot must return the same tree (same
+// *Node, same content) no matter how many Puts land meanwhile — run
+// with -race, this also proves snapshot reads need no synchronization
+// with writers.
+func TestSnapshotRepeatableReadUnderConcurrentUpdates(t *testing.T) {
+	const (
+		docs    = 4
+		writers = 4
+		readers = 8
+		rounds  = 60
+	)
+	s := New()
+	for d := 0; d < docs; d++ {
+		if err := s.LoadXML(fmt.Sprintf("doc%d.xml", d), "<v>0</v>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var writerWG, readerWG sync.WaitGroup
+	errs := make(chan error, readers)
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("doc%d.xml", i%docs)
+				if err := s.LoadXML(name, fmt.Sprintf("<v>%d-%d</v>", w, i)); err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; i < rounds; i++ {
+				snap := s.Snapshot()
+				version := snap.Version()
+				// pin every document's tree and string value at
+				// snapshot time...
+				pinned := make(map[string]*xdm.Node, docs)
+				values := make(map[string]string, docs)
+				for d := 0; d < docs; d++ {
+					name := fmt.Sprintf("doc%d.xml", d)
+					doc, err := snap.Doc(name)
+					if err != nil {
+						errs <- err
+						return
+					}
+					pinned[name] = doc
+					values[name] = doc.StringValue()
+				}
+				// ...then re-read repeatedly while writers keep
+				// swapping: the snapshot must keep answering with the
+				// exact same trees (repeatable read, rule R'_Fr)
+				for reread := 0; reread < 5; reread++ {
+					for name, want := range pinned {
+						got, err := snap.Doc(name)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if got != want {
+							errs <- fmt.Errorf("snapshot v%d: %s changed identity between reads", version, name)
+							return
+						}
+						if sv := got.StringValue(); sv != values[name] {
+							errs <- fmt.Errorf("snapshot v%d: %s content changed %q -> %q", version, name, values[name], sv)
+							return
+						}
+					}
+				}
+				if snap.Version() != version {
+					errs <- fmt.Errorf("snapshot version moved %d -> %d", version, snap.Version())
+					return
+				}
+			}
+		}()
+	}
+
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -1,8 +1,10 @@
 package strategies
 
 import (
+	"fmt"
 	"testing"
 
+	"xrpc/internal/netsim"
 	"xrpc/internal/xdm"
 	"xrpc/internal/xmark"
 )
@@ -168,5 +170,65 @@ func TestGeneratorSelectivity(t *testing.T) {
 	// deterministic: same seed, same output
 	if xmark.GeneratePersons(cfg) != persons {
 		t.Error("persons generation is not deterministic")
+	}
+}
+
+func TestShardedSemiJoinAgreesWithUnsharded(t *testing.T) {
+	cfg := testConfig()
+	baselineEnv, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, baseSeq, err := baselineEnv.RunSeq("distributed semi-join", QDistributedSemiJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xdm.SerializeSequence(baseSeq)
+	if want == "" {
+		t.Fatal("baseline semi-join returned nothing")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		env, err := NewShardedEnv(cfg, shards, 1, netsim.NewNetwork(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, seq, err := env.RunSemiJoin()
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if got := xdm.SerializeSequence(seq); got != want {
+			t.Fatalf("%d shards: sharded semi-join result differs from two-peer baseline\ngot:  %.200s\nwant: %.200s", shards, got, want)
+		}
+		// loop-lifting + scatter: exactly one bulk request per shard
+		if res.Requests != int64(shards) {
+			t.Fatalf("%d shards: %d requests served, want %d (one scattered bulk per shard)",
+				shards, res.Requests, shards)
+		}
+	}
+}
+
+func TestShardedSemiJoinSurvivesPrimaryFailure(t *testing.T) {
+	cfg := testConfig()
+	net := netsim.NewNetwork(0, 0)
+	env, err := NewShardedEnv(cfg, 3, 2, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seq, err := env.RunSemiJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xdm.SerializeSequence(seq)
+	// take down one primary; the replica must answer identically
+	net.Register(env.Dep.Table.Primary(1), netsim.HandlerFunc(
+		func(path string, body []byte) ([]byte, error) {
+			return nil, fmt.Errorf("connection refused")
+		}))
+	_, seq, err = env.RunSemiJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xdm.SerializeSequence(seq); got != want {
+		t.Fatal("result changed after failover to replica")
 	}
 }

@@ -46,6 +46,11 @@ func PaperConfig(scale float64) Config {
 	}
 }
 
+// PersonID returns the id attribute of the i-th generated person
+// ("person<i>") — the probe key shared by the bench, strategies, and
+// cluster workloads.
+func PersonID(i int) string { return fmt.Sprintf("person%d", i) }
+
 var firstNames = []string{
 	"Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi",
 	"Ivan", "Judy", "Ken", "Laura", "Mallory", "Niaj", "Olivia", "Peggy",
