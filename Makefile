@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke bench-cluster ci
+.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,11 @@ bench-smoke:
 bench-cluster:
 	$(GO) test -run XXX -bench 'BenchmarkCluster' -benchtime 3x .
 
-ci: build vet race bench-smoke
+# fuzz-smoke gives the SOAP envelope pull-decoder a short coverage-guided
+# shake on every CI run (decode must never panic; decode∘encode must be
+# a fixpoint). Run `go test -fuzz=FuzzDecode ./internal/soap` for longer
+# sessions.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz FuzzDecode -fuzztime 10s ./internal/soap
+
+ci: build vet race bench-smoke fuzz-smoke

@@ -9,11 +9,14 @@
 //	xrpcbench -table bulkexec    server-side bulk execution: sequential vs parallel
 //	xrpcbench -table algebra     columnar vs row-store relational operators
 //	xrpcbench -table cluster     scatter-gather Bulk RPC over 1/2/4/8 shard peers
+//	xrpcbench -table wire        SOAP encode/decode: streaming vs reference path
 //	xrpcbench -table all         everything
 //
 // The -scale flag scales the XMark data (1.0 = the paper's 250 persons /
 // 4875 auctions); -rtt sets the simulated round-trip latency; -parallel
-// sets the worker pool sizes compared by the bulkexec experiment.
+// sets the worker pool sizes compared by the bulkexec experiment; -gzip
+// adds gzip content-coding sizes to the wire experiment; -wire-json
+// writes the wire rows as a JSON snapshot (BENCH_wire.json).
 package main
 
 import (
@@ -30,7 +33,7 @@ import (
 
 func main() {
 	table := flag.String("table", "all",
-		"which experiment: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, all")
+		"which experiment: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, wire, all")
 	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
 	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
@@ -38,6 +41,8 @@ func main() {
 		"largest worker pool size for the bulkexec experiment")
 	calls := flag.Int("calls", 256, "bulk request size for the bulkexec experiment")
 	rows := flag.Int("rows", 16384, "input rows for the algebra experiment")
+	useGzip := flag.Bool("gzip", false, "measure gzip content-coding sizes in the wire experiment")
+	wireJSON := flag.String("wire-json", "", "write the wire experiment rows to this file as JSON")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -80,6 +85,36 @@ func main() {
 			return runCluster(*scale, *rtt)
 		})
 	}
+	if all || *table == "wire" {
+		run("SOAP wire path (streaming vs reference)", func() error {
+			return runWire(*useGzip, *wireJSON)
+		})
+	}
+}
+
+// runWire contrasts the streaming wire path (pooled encoder + envelope
+// pull-decoder) with the seed's reference path (strings.Builder encoder
+// + DOM decoder) across message shapes. Outputs are verified identical
+// before timing: both encoders must emit the same bytes, and both
+// decoders' results must re-encode identically.
+func runWire(gzipSizes bool, jsonPath string) error {
+	rows, err := bench.RunWireBench(3, gzipSizes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatWireBench(rows))
+	fmt.Println("\noutputs verified identical between streaming and reference paths before timing")
+	if jsonPath != "" {
+		data, err := bench.WireSnapshotJSON(rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runCluster sweeps the scatter-gather coordinator over 1, 2, 4, and 8

@@ -41,6 +41,8 @@ func main() {
 	of := flag.Int("of", 0, "total number of shards (0 = unsharded)")
 	rpcTimeout := flag.Duration("rpc-timeout", client.DefaultHTTPTimeout,
 		"timeout for outgoing XRPC-over-HTTP requests (0 = none)")
+	useGzip := flag.Bool("gzip", false,
+		"negotiate gzip content-coding: compress outgoing requests and gzip responses for clients that accept it")
 	flag.Parse()
 
 	if *of == 0 && *shard != 0 {
@@ -52,8 +54,11 @@ func main() {
 	if *self == "" {
 		*self = "xrpc://localhost" + *addr
 	}
-	peer := core.NewPeer(*self, client.NewHTTPTransportTimeout(*rpcTimeout))
+	transport := client.NewHTTPTransportTimeout(*rpcTimeout)
+	transport.Gzip = *useGzip
+	peer := core.NewPeer(*self, transport)
 	peer.SetParallelism(*parallel)
+	peer.Server.Gzip = *useGzip
 	if *of > 0 {
 		peer.Server.Shard, peer.Server.Shards = *shard, *of
 	}

@@ -44,6 +44,10 @@ type Client struct {
 	Requests atomic.Int64
 	Sent     atomic.Int64
 	Received atomic.Int64
+	// Encodes counts request-body encodings — with encode-once
+	// scatter-many, strictly fewer than Requests when one body is reused
+	// across shards and replica failover attempts.
+	Encodes atomic.Int64
 }
 
 // New creates a client over a transport.
@@ -109,8 +113,20 @@ type BulkRequest struct {
 }
 
 // CallBulk performs a Bulk RPC: all calls in a single request/response
-// network interaction, returning one result sequence per call.
+// network interaction, returning one result sequence per call. The
+// request body is built in a pooled encoder and released after the send
+// — zero copies of the request on the in-process transport.
 func (c *Client) CallBulk(dest string, br *BulkRequest) ([]xdm.Sequence, error) {
+	enc := c.EncodeBulk(br)
+	defer enc.Release()
+	return c.SendEncoded(dest, enc.Bytes(), len(br.Calls))
+}
+
+// EncodeBulk renders the SOAP request body for br once, into a pooled
+// encoder the caller must Release. The body is destination-independent,
+// so scatter-gather coordinators encode once and send the same bytes to
+// every shard and replica (encode-once, scatter-many).
+func (c *Client) EncodeBulk(br *BulkRequest) *soap.Encoder {
 	req := &soap.Request{
 		Module:     br.ModuleURI,
 		Method:     br.Func,
@@ -122,7 +138,16 @@ func (c *Client) CallBulk(dest string, br *BulkRequest) ([]xdm.Sequence, error) 
 		ByFragment: br.ByFragment,
 		SeqNrs:     br.SeqNrs,
 	}
-	body := soap.EncodeRequest(req)
+	enc := soap.NewEncoder()
+	enc.EncodeRequest(req)
+	c.Encodes.Add(1)
+	return enc
+}
+
+// SendEncoded posts a pre-encoded request body to dest and decodes the
+// response, expecting one result sequence per call. Safe to call
+// concurrently with the same body: the bytes are only read.
+func (c *Client) SendEncoded(dest string, body []byte, calls int) ([]xdm.Sequence, error) {
 	respBody, err := c.Transport.Send(dest, XRPCPath, body)
 	c.Requests.Add(1)
 	c.Sent.Add(int64(len(body)))
@@ -134,8 +159,8 @@ func (c *Client) CallBulk(dest string, br *BulkRequest) ([]xdm.Sequence, error) 
 	if err != nil {
 		return nil, err // includes *soap.Fault
 	}
-	if len(resp.Results) != len(br.Calls) {
-		return nil, fmt.Errorf("xrpc: %d results for %d calls", len(resp.Results), len(br.Calls))
+	if len(resp.Results) != calls {
+		return nil, fmt.Errorf("xrpc: %d results for %d calls", len(resp.Results), calls)
 	}
 	c.notePeers(dest, resp.Peers)
 	return resp.Results, nil

@@ -1,6 +1,9 @@
 package client
 
 import (
+	"bytes"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
@@ -211,6 +214,84 @@ func TestHTTPTransportEndToEnd(t *testing.T) {
 	if len(res[0]) != 2 {
 		t.Fatalf("films over HTTP = %d", len(res[0]))
 	}
+}
+
+// TestGzipContentCoding proves the optional gzip content-coding is
+// transparent: with gzip on both sides, gzip only on the server, or no
+// gzip at all, the decoded response is identical — and when both sides
+// negotiate, the bytes on the wire are actually compressed.
+func TestGzipContentCoding(t *testing.T) {
+	srv := newServer(t)
+	srv.Gzip = true
+
+	var rawBytes, gzBytes atomic.Int64
+	ts := httptest.NewServer(countingMiddleware(srv, &rawBytes, &gzBytes))
+	defer ts.Close()
+	dest := strings.Replace(ts.URL, "http://", "xrpc://", 1)
+
+	br := func() *BulkRequest {
+		b := &BulkRequest{
+			ModuleURI: "films", AtHint: "http://x.example.org/film.xq",
+			Func: "filmsByActor", Arity: 1,
+		}
+		for i := 0; i < 32; i++ {
+			b.Calls = append(b.Calls, []xdm.Sequence{{xdm.String("Sean Connery")}})
+		}
+		return b
+	}
+
+	plain := New(NewHTTPTransport())
+	want, err := plain.CallBulk(dest, br())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := soap.EncodeResponse(&soap.Response{Module: "films", Method: "filmsByActor", Results: want})
+
+	gzipTr := NewHTTPTransport()
+	gzipTr.Gzip = true
+	zipped := New(gzipTr)
+	got, err := zipped.CallBulk(dest, br())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes := soap.EncodeResponse(&soap.Response{Module: "films", Method: "filmsByActor", Results: got})
+	if string(gotBytes) != string(wantBytes) {
+		t.Fatal("gzip and plain transports decoded different responses")
+	}
+	if gzBytes.Load() == 0 {
+		t.Fatal("gzip transport sent no gzip-encoded request")
+	}
+	if gzBytes.Load() >= rawBytes.Load() {
+		t.Fatalf("gzip request (%d bytes) not smaller than plain (%d bytes)",
+			gzBytes.Load(), rawBytes.Load())
+	}
+
+	// server with gzip disabled still accepts gzip requests but answers
+	// plain; the client handles both
+	srv.Gzip = false
+	got2, err := zipped.CallBulk(dest, br())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2Bytes := soap.EncodeResponse(&soap.Response{Module: "films", Method: "filmsByActor", Results: got2})
+	if string(got2Bytes) != string(wantBytes) {
+		t.Fatal("gzip client against non-gzip server decoded a different response")
+	}
+}
+
+// countingMiddleware records request body sizes by content coding
+// before handing the request to the XRPC server.
+func countingMiddleware(next http.Handler, raw, gz *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if r.Header.Get("Content-Encoding") == "gzip" {
+			gz.Add(int64(len(body)))
+		} else {
+			raw.Add(int64(len(body)))
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		next.ServeHTTP(w, r)
+	})
 }
 
 func TestHTTPTransportBadDest(t *testing.T) {

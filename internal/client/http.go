@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +22,13 @@ type HTTPTransport struct {
 	// tuned, shared http.Transport; a nil Client falls back to one
 	// lazily via the package-level default.
 	Client *http.Client
+	// Gzip enables gzip content-coding (off by default): request bodies
+	// are compressed with Content-Encoding: gzip, and Accept-Encoding:
+	// gzip advertises that the response may be compressed too. The
+	// decoded response is identical either way; servers that do not
+	// understand gzip requests will fault, so enable it only against
+	// peers that negotiate (server.Server always accepts gzip requests).
+	Gzip bool
 }
 
 // sharedTransport is the fallback connection pool for transports built
@@ -95,13 +103,44 @@ func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 	if cl == nil {
 		cl = &http.Client{Timeout: DefaultHTTPTimeout, Transport: sharedTransport}
 	}
-	resp, err := cl.Post(url, "application/soap+xml; charset=utf-8", bytes.NewReader(body))
+	sendBody := body
+	if t.Gzip {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		zw.Write(body)
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("xrpc http: gzip request: %w", err)
+		}
+		sendBody = zbuf.Bytes()
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(sendBody))
+	if err != nil {
+		return nil, fmt.Errorf("xrpc http: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/soap+xml; charset=utf-8")
+	if t.Gzip {
+		req.Header.Set("Content-Encoding", "gzip")
+		// setting Accept-Encoding ourselves disables the transport's
+		// transparent decompression, so a gzip response is handled
+		// explicitly below
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	resp, err := cl.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("xrpc http: %w", err)
 	}
 	defer resp.Body.Close()
+	respBody := resp.Body
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("xrpc http: gzip response: %w", err)
+		}
+		defer gz.Close()
+		respBody = gz
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		trunc, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+		trunc, _ := io.ReadAll(io.LimitReader(respBody, errBodyLimit))
 		// drain the remainder so the keep-alive connection returns to
 		// the pool instead of being torn down
 		io.Copy(io.Discard, resp.Body)
@@ -111,7 +150,7 @@ func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 			Body:       strings.TrimSpace(string(trunc)),
 		}
 	}
-	out, err := io.ReadAll(resp.Body)
+	out, err := io.ReadAll(respBody)
 	if err != nil {
 		return nil, fmt.Errorf("xrpc http: reading response: %w", err)
 	}

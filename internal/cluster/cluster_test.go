@@ -357,6 +357,46 @@ func TestLowestShardErrorWins(t *testing.T) {
 	}
 }
 
+// TestScatterEncodesOnce pins the encode-once-scatter-many contract: one
+// scatter performs exactly one request encoding no matter how many
+// shards and replica failover attempts the request fans out to.
+func TestScatterEncodesOnce(t *testing.T) {
+	cfg := xmark.PaperConfig(0.05)
+	auctions := xmark.GenerateAuctions(cfg)
+	reg := testRegistry(t)
+	br := probeRequest(cfg.Persons)
+	want := singlePeerBaseline(t, reg, auctions, br)
+
+	net := netsim.NewNetwork(0, 0)
+	dep, err := Deploy(net, reg, map[string]string{"auctions.xml": auctions},
+		DeployConfig{Shards: 4, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two dead primaries and one dead first replica: the scatter still
+	// succeeds via failover, re-sending the same bytes — never
+	// re-encoding
+	net.Register(dep.Table.Primary(1), down("shard1 primary"))
+	net.Register(dep.Table.Primary(3), down("shard3 primary"))
+	net.Register(dep.Table.Replicas(3)[1], down("shard3 replica1"))
+
+	co := dep.Coordinator()
+	merged, err := co.Scatter(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeResults(br, merged), want) {
+		t.Fatal("merged response differs from single-peer baseline")
+	}
+	if got := co.Client.Encodes.Load(); got != 1 {
+		t.Fatalf("scatter across 4 shards with failover encoded the request %d times, want 1", got)
+	}
+	// 4 shards + 3 failover attempts = 7 sends of the one encoding
+	if got := co.Client.Requests.Load(); got != 7 {
+		t.Fatalf("requests = %d, want 7 (4 shards + 3 failover attempts)", got)
+	}
+}
+
 // --------------------------------------------------------- membership
 
 func TestShardInfoSystemCall(t *testing.T) {

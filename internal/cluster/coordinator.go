@@ -93,6 +93,11 @@ func (co *Coordinator) CallParallel(parts []*client.BulkByDest, total int) ([]xd
 // the responses in shard order. Only read-only requests are
 // scatterable: an updating call would apply its side effects once per
 // shard.
+//
+// Encode-once, scatter-many: the request body is destination-independent,
+// so it is encoded exactly once (into a pooled buffer) and the same bytes
+// are posted to every shard and reused across replica failover attempts —
+// regardless of shard × replica count, one scatter costs one encoding.
 func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if br.Updating {
 		return nil, xdm.NewError("XRPC0007",
@@ -101,6 +106,9 @@ func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if co.Table == nil || !co.Table.Complete() {
 		return nil, xdm.NewError("XRPC0007", "cluster: incomplete routing table")
 	}
+	enc := co.Client.EncodeBulk(br)
+	defer enc.Release()
+	body := enc.Bytes()
 	n := co.Table.NumShards()
 	perShard := make([][]xdm.Sequence, n)
 	errs := make([]error, n)
@@ -109,7 +117,7 @@ func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			perShard[s], errs[s] = co.callShard(s, br)
+			perShard[s], errs[s] = co.callShard(s, body, len(br.Calls))
 		}(s)
 	}
 	wg.Wait()
@@ -129,15 +137,16 @@ func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	return merged, nil
 }
 
-// callShard sends the request to the shard's primary and walks the
-// replica list on transport-level failures. Application errors (SOAP
+// callShard posts the pre-encoded request body to the shard's primary
+// and walks the replica list on transport-level failures — the same
+// bytes for every attempt, never re-encoding. Application errors (SOAP
 // faults) are definitive: every replica holds the same shard, so a
 // fault would only repeat.
-func (co *Coordinator) callShard(shard int, br *client.BulkRequest) ([]xdm.Sequence, error) {
+func (co *Coordinator) callShard(shard int, body []byte, calls int) ([]xdm.Sequence, error) {
 	replicas := co.Table.Replicas(shard)
 	var lastErr error
 	for _, uri := range replicas {
-		res, err := co.Client.CallBulk(uri, br)
+		res, err := co.Client.SendEncoded(uri, body, calls)
 		if err == nil {
 			return res, nil
 		}

@@ -18,7 +18,7 @@ func argKey(seq xdm.Sequence) string {
 	for _, it := range seq {
 		if n, ok := it.(*xdm.Node); ok {
 			b.WriteString("n:")
-			b.WriteString(xdm.SerializeNode(n))
+			xdm.WriteNode(&b, n)
 		} else {
 			b.WriteString(it.TypeName())
 			b.WriteByte(':')

@@ -8,9 +8,11 @@
 package server
 
 import (
+	"compress/gzip"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +29,11 @@ const WSATModule = "urn:wsat"
 // SystemModule mirrors client.SystemModule (kept separate to avoid an
 // import cycle).
 const SystemModule = "urn:xrpc-system"
+
+// DefaultMaxRequestBytes is the default cap on one decoded HTTP request
+// body (see Server.MaxRequestBytes). Generous for XRPC's multi-megabyte
+// document parameters, small enough to stop decompression bombs.
+const DefaultMaxRequestBytes = 256 << 20
 
 // Executor runs all calls of one decoded request against a document
 // resolver, returning one result sequence per call, the merged pending
@@ -63,6 +70,16 @@ type Server struct {
 	// Reported by the shardInfo system call so coordinators can verify
 	// cluster membership.
 	Shard, Shards int
+	// Gzip enables gzip Content-Encoding on HTTP responses for clients
+	// that advertise Accept-Encoding: gzip (off by default; gzip-encoded
+	// request bodies are always accepted). The paper's §3.3 message-size
+	// concern: SOAP envelopes compress well.
+	Gzip bool
+	// MaxRequestBytes bounds the decoded size of one HTTP request body
+	// (0 = DefaultMaxRequestBytes). It caps decompression-bomb
+	// amplification: a small gzip body may expand ~1000x, and without a
+	// bound io.ReadAll would materialize all of it.
+	MaxRequestBytes int64
 	// Now is the clock (replaceable in tests).
 	Now func() time.Time
 
@@ -109,8 +126,19 @@ func New(st *store.Store, reg *modules.Registry, exec Executor) *Server {
 // HandleXRPC implements netsim.Handler: it decodes one message, executes
 // it, and encodes the response; any error becomes a SOAP Fault ("any
 // error will cause a run-time error at the site that originated the
-// query").
+// query"). The response is built in a pooled encoder; one copy hands it
+// to the caller (the HTTP path in ServeHTTP skips even that copy).
 func (s *Server) HandleXRPC(path string, body []byte) ([]byte, error) {
+	enc := soap.NewEncoder()
+	s.handleInto(enc, body)
+	out := enc.Copy()
+	enc.Release()
+	return out, nil
+}
+
+// handleInto runs one request and encodes the response (or fault) into
+// enc.
+func (s *Server) handleInto(enc *soap.Encoder, body []byte) {
 	start := s.Now()
 	defer func() {
 		d := time.Since(start)
@@ -124,28 +152,60 @@ func (s *Server) HandleXRPC(path string, body []byte) ([]byte, error) {
 		if _, isXQ := err.(*xdm.Error); isXQ {
 			code = "env:Sender"
 		}
-		return soap.EncodeFault(&soap.Fault{Code: code, Reason: err.Error()}), nil
+		enc.EncodeFault(&soap.Fault{Code: code, Reason: err.Error()})
+		return
 	}
-	return resp, nil
+	enc.EncodeResponse(resp)
 }
 
-// ServeHTTP exposes the handler over real HTTP (POST /xrpc).
+// ServeHTTP exposes the handler over real HTTP (POST /xrpc), writing the
+// response straight from the pooled encoder's buffer. It accepts
+// gzip-encoded request bodies unconditionally and gzips the response
+// when s.Gzip is set and the client advertised Accept-Encoding: gzip.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "XRPC requires POST", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	maxBytes := s.MaxRequestBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxRequestBytes
+	}
+	var rd io.Reader = r.Body
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer gz.Close()
+		rd = gz
+	}
+	body, err := io.ReadAll(io.LimitReader(rd, maxBytes+1))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, _ := s.HandleXRPC(r.URL.Path, body)
+	if int64(len(body)) > maxBytes {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxBytes),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	enc := soap.NewEncoder()
+	defer enc.Release()
+	s.handleInto(enc, body)
 	w.Header().Set("Content-Type", "application/soap+xml; charset=utf-8")
-	w.Write(resp)
+	if s.Gzip && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		gz.Write(enc.Bytes())
+		gz.Close()
+		return
+	}
+	w.Write(enc.Bytes())
 }
 
-func (s *Server) handle(body []byte) ([]byte, error) {
+func (s *Server) handle(body []byte) (*soap.Response, error) {
 	req, err := soap.DecodeRequest(body)
 	if err != nil {
 		return nil, xdm.Errorf("XRPC0003", "malformed request: %v", err)
@@ -200,18 +260,17 @@ func (s *Server) handle(body []byte) ([]byte, error) {
 			}
 		}
 	}
-	resp := &soap.Response{
+	return &soap.Response{
 		Module:  req.Module,
 		Method:  req.Method,
 		Results: results,
 		Peers:   peers(),
-	}
-	return soap.EncodeResponse(resp), nil
+	}, nil
 }
 
 // handleSystem serves the reserved system calls (getDocument for data
 // shipping).
-func (s *Server) handleSystem(req *soap.Request) ([]byte, error) {
+func (s *Server) handleSystem(req *soap.Request) (*soap.Response, error) {
 	var docs interp.DocResolver = s.Store
 	if req.QueryID != nil {
 		entry, err := s.iso.entryFor(req.QueryID, s.Store)
@@ -233,33 +292,33 @@ func (s *Server) handleSystem(req *soap.Request) ([]byte, error) {
 			}
 			results = append(results, xdm.Singleton(doc))
 		}
-		return soap.EncodeResponse(&soap.Response{
+		return &soap.Response{
 			Module: req.Module, Method: req.Method, Results: results,
-		}), nil
+		}, nil
 	case "listDocuments":
 		names := s.Store.Names()
 		seq := make(xdm.Sequence, len(names))
 		for i, n := range names {
 			seq[i] = xdm.String(n)
 		}
-		return soap.EncodeResponse(&soap.Response{
+		return &soap.Response{
 			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
-		}), nil
+		}, nil
 	case "shardInfo":
 		seq := xdm.Sequence{xdm.Integer(int64(s.Shard)), xdm.Integer(int64(s.Shards))}
 		for _, n := range s.Store.Names() {
 			seq = append(seq, xdm.String(n))
 		}
-		return soap.EncodeResponse(&soap.Response{
+		return &soap.Response{
 			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
-		}), nil
+		}, nil
 	default:
 		return nil, xdm.Errorf("XRPC0004", "unknown system method %q", req.Method)
 	}
 }
 
 // handleWSAT serves the WS-AtomicTransaction participant interface.
-func (s *Server) handleWSAT(req *soap.Request) ([]byte, error) {
+func (s *Server) handleWSAT(req *soap.Request) (*soap.Response, error) {
 	if req.QueryID == nil {
 		return nil, xdm.NewError("XRPC0005", "WS-AT verb without queryID")
 	}
@@ -281,10 +340,10 @@ func (s *Server) handleWSAT(req *soap.Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return soap.EncodeResponse(&soap.Response{
+	return &soap.Response{
 		Module: WSATModule, Method: req.Method,
 		Results: []xdm.Sequence{result},
-	}), nil
+	}, nil
 }
 
 // IsolatedQueries reports how many queryIDs currently hold pinned

@@ -2,7 +2,10 @@ package server
 
 import (
 	"bytes"
+	"compress/gzip"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -814,5 +817,55 @@ declare function bad:fetch($doc as xs:string) as node()*
 	}
 	if seqErr.Error() != parErr.Error() {
 		t.Errorf("error differs: sequential %q, parallel %q", seqErr, parErr)
+	}
+}
+
+// TestHTTPRequestSizeLimit pins the decompression-bomb guard: a gzip
+// request body that expands past MaxRequestBytes is rejected with 413
+// before the expansion is materialized, while bodies under the limit
+// are served normally.
+func TestHTTPRequestSizeLimit(t *testing.T) {
+	p := newPeer(t, "xrpc://y", filmDBY, netsim.NewNetwork(0, 0))
+	p.server.MaxRequestBytes = 64 * 1024
+
+	// a ~6 KB gzip body expanding to ~10 MB of whitespace padding
+	var bomb bytes.Buffer
+	zw := gzip.NewWriter(&bomb)
+	for i := 0; i < 10*1024; i++ {
+		zw.Write(bytes.Repeat([]byte(" "), 1024))
+	}
+	zw.Close()
+
+	req := httptest.NewRequest("POST", "/xrpc", bytes.NewReader(bomb.Bytes()))
+	req.Header.Set("Content-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	p.server.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("gzip bomb got status %d, want 413", rec.Code)
+	}
+
+	// a legitimate gzip request under the limit still works
+	body := soap.EncodeRequest(&soap.Request{
+		Module: "films", Method: "filmsByActor", Arity: 1,
+		Location: "http://x.example.org/film.xq",
+		Calls:    [][]xdm.Sequence{{{xdm.String("Sean Connery")}}},
+	})
+	var small bytes.Buffer
+	zw = gzip.NewWriter(&small)
+	zw.Write(body)
+	zw.Close()
+	req = httptest.NewRequest("POST", "/xrpc", bytes.NewReader(small.Bytes()))
+	req.Header.Set("Content-Encoding", "gzip")
+	rec = httptest.NewRecorder()
+	p.server.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legitimate gzip request got status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp, err := soap.DecodeResponse(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || len(resp.Results[0]) != 2 {
+		t.Fatalf("results = %+v", resp.Results)
 	}
 }

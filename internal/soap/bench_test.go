@@ -1,0 +1,210 @@
+package soap
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xrpc/internal/xdm"
+)
+
+// benchRequest is a realistic bulk request: calls getPerson-style string
+// parameters plus one node parameter, with a queryID.
+func benchRequest(calls int) *Request {
+	person, err := xdm.ParseFragment(`<person id="p7"><name>Kathy Blanton</name><emailaddress>mailto:kblanton@example.org</emailaddress></person>`)
+	if err != nil {
+		panic(err)
+	}
+	req := &Request{
+		Module:   "functions",
+		Method:   "getPerson",
+		Arity:    2,
+		Location: "http://example.org/functions.xq",
+		QueryID: &QueryID{
+			ID:        "q-bench",
+			Host:      "xrpc://bench.example.org",
+			Timestamp: time.Date(2007, 9, 23, 12, 0, 0, 0, time.UTC),
+			Timeout:   30,
+		},
+	}
+	for i := 0; i < calls; i++ {
+		req.Calls = append(req.Calls, []xdm.Sequence{
+			{xdm.String("xmark.xml")},
+			{xdm.String(fmt.Sprintf("person%d", i)), person[0]},
+		})
+	}
+	return req
+}
+
+func benchResponse(results int) *Response {
+	item, err := xdm.ParseFragment(`<closed_auction><buyer person="p3"/><price>42.50</price></closed_auction>`)
+	if err != nil {
+		panic(err)
+	}
+	resp := &Response{Module: "functions", Method: "getPerson"}
+	for i := 0; i < results; i++ {
+		resp.Results = append(resp.Results, xdm.Sequence{item[0], xdm.Integer(int64(i))})
+	}
+	resp.Peers = []string{"xrpc://y.example.org"}
+	return resp
+}
+
+func BenchmarkSoapEncodeRequest(b *testing.B) {
+	req := benchRequest(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := NewEncoder()
+		enc.EncodeRequest(req)
+		enc.Release()
+	}
+}
+
+func BenchmarkSoapEncodeRequestRef(b *testing.B) {
+	req := benchRequest(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeRequestRef(req)
+	}
+}
+
+func BenchmarkSoapEncodeResponse(b *testing.B) {
+	resp := benchResponse(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := NewEncoder()
+		enc.EncodeResponse(resp)
+		enc.Release()
+	}
+}
+
+func BenchmarkSoapEncodeResponseRef(b *testing.B) {
+	resp := benchResponse(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeResponseRef(resp)
+	}
+}
+
+func BenchmarkSoapDecodeRequest(b *testing.B) {
+	msg := EncodeRequest(benchRequest(64))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRequest(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoapDecodeRequestDOM(b *testing.B) {
+	msg := EncodeRequest(benchRequest(64))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDOM(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoapDecodeResponse(b *testing.B) {
+	msg := EncodeResponse(benchResponse(64))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeResponse(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoapDecodeResponseDOM(b *testing.B) {
+	msg := EncodeResponse(benchResponse(64))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDOM(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------ allocation guards
+//
+// The alloc guards turn wire-path regressions into test failures instead
+// of silent rot. Bounds are upper limits with headroom over the measured
+// values (see CHANGES.md), not exact pins: crossing one means an
+// allocation regression of 2x+, worth investigating.
+
+// allocsPerRun measures steady-state allocations, warming the buffer
+// pools first.
+func allocsPerRun(f func()) float64 {
+	for i := 0; i < 10; i++ {
+		f()
+	}
+	return testing.AllocsPerRun(100, f)
+}
+
+func TestEncodeRequestAllocGuard(t *testing.T) {
+	req := benchRequest(64)
+	got := allocsPerRun(func() {
+		enc := NewEncoder()
+		enc.EncodeRequest(req)
+		enc.Release()
+	})
+	// pooled steady state: the encoder itself allocates nothing; the
+	// only allocations are CompressCall bookkeeping-free param walks (0)
+	// — leave headroom for pool misses under GC pressure.
+	if got > 8 {
+		t.Fatalf("pooled request encoding allocates %.0f objects/op, want <= 8", got)
+	}
+}
+
+func TestEncodeResponseAllocGuard(t *testing.T) {
+	resp := benchResponse(64)
+	got := allocsPerRun(func() {
+		enc := NewEncoder()
+		enc.EncodeResponse(resp)
+		enc.Release()
+	})
+	if got > 8 {
+		t.Fatalf("pooled response encoding allocates %.0f objects/op, want <= 8", got)
+	}
+}
+
+func TestDecodeRequestAllocGuard(t *testing.T) {
+	msg := EncodeRequest(benchRequest(64))
+	got := allocsPerRun(func() {
+		if _, err := DecodeRequest(msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 64 calls × (2 sequences + ~9 nodes of the person fragment + a
+	// handful of strings): ~25 allocs per call. The DOM decoder sat at
+	// ~120 per call; the guard keeps the 5x gap from eroding.
+	perCall := got / 64
+	if perCall > 40 {
+		t.Fatalf("streaming request decode allocates %.1f objects per call, want <= 40 (total %.0f)", perCall, got)
+	}
+	dom := allocsPerRun(func() {
+		if _, err := DecodeDOM(msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got*5 > dom {
+		t.Fatalf("streaming decode (%.0f allocs) is not >= 5x leaner than the DOM decoder (%.0f allocs)", got, dom)
+	}
+}
+
+func TestDecodeResponseAllocGuard(t *testing.T) {
+	msg := EncodeResponse(benchResponse(64))
+	got := allocsPerRun(func() {
+		if _, err := DecodeResponse(msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perResult := got / 64
+	if perResult > 40 {
+		t.Fatalf("streaming response decode allocates %.1f objects per result, want <= 40 (total %.0f)", perResult, got)
+	}
+}

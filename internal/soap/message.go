@@ -4,6 +4,13 @@
 // rpc/encoded), Bulk RPC (multiple <xrpc:call> elements per request,
 // §3.2), the queryID isolation extension (§2.2), the participating-peers
 // piggyback used by distributed commit (§2.3), and SOAP Fault errors.
+//
+// The wire path is streaming and allocation-lean: encoding goes through
+// the pooled Encoder (encoder.go), decoding through a pull-tokenizer
+// specialized for the XRPC envelope grammar (scan.go, decode.go). The
+// seed's DOM-based implementations survive as executable references
+// (refenc.go, DecodeDOM below) that differential tests pin against the
+// streaming paths.
 package soap
 
 import (
@@ -82,103 +89,6 @@ type Fault struct {
 // Error implements error.
 func (f *Fault) Error() string { return "xrpc fault (" + f.Code + "): " + f.Reason }
 
-// ------------------------------------------------------------- encoding
-
-func envelopeOpen(b *strings.Builder) {
-	b.WriteString(`<?xml version="1.0" encoding="utf-8"?>` + "\n")
-	b.WriteString(`<env:Envelope xmlns:xrpc="` + NSXRPC + `"` + "\n")
-	b.WriteString(` xmlns:env="` + NSEnv + `"` + "\n")
-	b.WriteString(` xmlns:xs="` + NSXS + `"` + "\n")
-	b.WriteString(` xmlns:xsi="` + NSXSI + `"` + "\n")
-	b.WriteString(` xsi:schemaLocation="` + SchemaLoc + `">` + "\n")
-	b.WriteString("<env:Body>\n")
-}
-
-func envelopeClose(b *strings.Builder) {
-	b.WriteString("</env:Body>\n</env:Envelope>\n")
-}
-
-// EncodeRequest renders the request as a SOAP XRPC message.
-func EncodeRequest(r *Request) []byte {
-	var b strings.Builder
-	envelopeOpen(&b)
-	fmt.Fprintf(&b, `<xrpc:request xrpc:module=%q xrpc:method=%q xrpc:arity="%d" xrpc:location=%q`,
-		r.Module, r.Method, r.Arity, r.Location)
-	if r.Updating {
-		b.WriteString(` xrpc:updCall="true"`)
-	}
-	b.WriteString(">\n")
-	if r.QueryID != nil {
-		fmt.Fprintf(&b, `<xrpc:queryID xrpc:host=%q xrpc:timestamp=%q xrpc:timeout="%d">%s</xrpc:queryID>`+"\n",
-			r.QueryID.Host, r.QueryID.Timestamp.UTC().Format(time.RFC3339Nano),
-			r.QueryID.Timeout, escape(r.QueryID.ID))
-	}
-	for ci, call := range r.Calls {
-		if r.SeqNrs != nil {
-			fmt.Fprintf(&b, `<xrpc:call xrpc:seqNr="%d">`+"\n", r.SeqNrs[ci])
-		} else {
-			b.WriteString("<xrpc:call>\n")
-		}
-		var refs [][]*NodeRef
-		if r.ByFragment {
-			refs, _ = CompressCall(call)
-		}
-		for pi, param := range call {
-			if refs == nil {
-				writeSequence(&b, param)
-				continue
-			}
-			b.WriteString("<xrpc:sequence>")
-			for ii, it := range param {
-				writeItemRef(&b, it, refs[pi][ii])
-			}
-			b.WriteString("</xrpc:sequence>\n")
-		}
-		b.WriteString("</xrpc:call>\n")
-	}
-	b.WriteString("</xrpc:request>\n")
-	envelopeClose(&b)
-	return []byte(b.String())
-}
-
-// EncodeResponse renders the response message.
-func EncodeResponse(r *Response) []byte {
-	var b strings.Builder
-	envelopeOpen(&b)
-	fmt.Fprintf(&b, `<xrpc:response xrpc:module=%q xrpc:method=%q>`+"\n", r.Module, r.Method)
-	for _, seq := range r.Results {
-		writeSequence(&b, seq)
-	}
-	if len(r.Peers) > 0 {
-		b.WriteString("<xrpc:participatingPeers>\n")
-		for _, p := range r.Peers {
-			fmt.Fprintf(&b, `<xrpc:peer uri=%q/>`+"\n", p)
-		}
-		b.WriteString("</xrpc:participatingPeers>\n")
-	}
-	b.WriteString("</xrpc:response>\n")
-	envelopeClose(&b)
-	return []byte(b.String())
-}
-
-// EncodeFault renders a SOAP Fault message.
-func EncodeFault(f *Fault) []byte {
-	var b strings.Builder
-	envelopeOpen(&b)
-	b.WriteString("<env:Fault>\n<env:Code><env:Value>")
-	b.WriteString(escape(f.Code))
-	b.WriteString("</env:Value></env:Code>\n<env:Reason>\n")
-	b.WriteString(`<env:Text xml:lang="en">`)
-	b.WriteString(escape(f.Reason))
-	b.WriteString("</env:Text>\n</env:Reason>\n</env:Fault>\n")
-	envelopeClose(&b)
-	return []byte(b.String())
-}
-
-// WriteSequence exposes the s2n marshaling (sequence -> <xrpc:sequence>
-// XML) for the XRPC wrapper's generated queries.
-func WriteSequence(b *strings.Builder, seq xdm.Sequence) { writeSequence(b, seq) }
-
 // SequenceToNode is s2n producing an XDM tree directly (no text
 // round-trip): a fresh <xrpc:sequence> element whose children wrap each
 // item per the XRPC schema. Node items are deep-copied (call-by-value).
@@ -229,71 +139,7 @@ func SequenceToNode(seq xdm.Sequence) *xdm.Node {
 	return root
 }
 
-// writeSequence is s2n (§2.2): the SOAP representation of an XDM
-// sequence.
-func writeSequence(b *strings.Builder, seq xdm.Sequence) {
-	b.WriteString("<xrpc:sequence>")
-	for _, it := range seq {
-		writeItem(b, it)
-	}
-	b.WriteString("</xrpc:sequence>\n")
-}
-
-func writeItem(b *strings.Builder, it xdm.Item) {
-	switch v := it.(type) {
-	case *xdm.Node:
-		switch v.Kind {
-		case xdm.ElementNode:
-			b.WriteString("<xrpc:element>")
-			b.WriteString(xdm.SerializeNode(v))
-			b.WriteString("</xrpc:element>")
-		case xdm.DocumentNode:
-			b.WriteString("<xrpc:document>")
-			b.WriteString(xdm.SerializeNode(v))
-			b.WriteString("</xrpc:document>")
-		case xdm.AttributeNode:
-			// serialized inside the wrapper: <xrpc:attribute x="y"/>
-			fmt.Fprintf(b, `<xrpc:attribute %s=%q/>`, v.Name, v.Value)
-		case xdm.TextNode:
-			b.WriteString("<xrpc:text>")
-			b.WriteString(escape(v.Value))
-			b.WriteString("</xrpc:text>")
-		case xdm.CommentNode:
-			b.WriteString("<xrpc:comment>")
-			b.WriteString(escape(v.Value))
-			b.WriteString("</xrpc:comment>")
-		case xdm.PINode:
-			fmt.Fprintf(b, `<xrpc:pi xrpc:target=%q>`, v.Name)
-			b.WriteString(escape(v.Value))
-			b.WriteString("</xrpc:pi>")
-		}
-	default:
-		fmt.Fprintf(b, `<xrpc:atomic-value xsi:type=%q>`, it.TypeName())
-		b.WriteString(escape(it.StringValue()))
-		b.WriteString("</xrpc:atomic-value>")
-	}
-}
-
-func escape(s string) string {
-	var b strings.Builder
-	for _, r := range s {
-		switch r {
-		case '<':
-			b.WriteString("&lt;")
-		case '>':
-			b.WriteString("&gt;")
-		case '&':
-			b.WriteString("&amp;")
-		case '"':
-			b.WriteString("&quot;")
-		default:
-			b.WriteRune(r)
-		}
-	}
-	return b.String()
-}
-
-// ------------------------------------------------------------- decoding
+// ------------------------------------------------- DOM decoder (reference)
 
 // Message is the decoded form of any XRPC envelope body.
 type Message struct {
@@ -302,8 +148,11 @@ type Message struct {
 	Fault    *Fault
 }
 
-// Decode parses a SOAP XRPC message of any kind.
-func Decode(data []byte) (*Message, error) {
+// DecodeDOM parses a SOAP XRPC message of any kind by materializing the
+// whole envelope as an xdm.Node tree and walking it — the seed's
+// decoder, kept as the executable reference the streaming pull-decoder
+// (decode.go) is differentially tested against.
+func DecodeDOM(data []byte) (*Message, error) {
 	doc, err := xdm.ParseDocument("soap-message", string(data))
 	if err != nil {
 		return nil, fmt.Errorf("soap: malformed envelope: %w", err)
@@ -317,17 +166,17 @@ func Decode(data []byte) (*Message, error) {
 		return nil, fmt.Errorf("soap: missing Body")
 	}
 	if f := firstChildLocal(body, "Fault"); f != nil {
-		return &Message{Fault: decodeFault(f)}, nil
+		return &Message{Fault: decodeFaultDOM(f)}, nil
 	}
 	if rq := firstChildLocal(body, "request"); rq != nil {
-		req, err := decodeRequest(rq)
+		req, err := decodeRequestDOM(rq)
 		if err != nil {
 			return nil, err
 		}
 		return &Message{Request: req}, nil
 	}
 	if rs := firstChildLocal(body, "response"); rs != nil {
-		resp, err := decodeResponse(rs)
+		resp, err := decodeResponseDOM(rs)
 		if err != nil {
 			return nil, err
 		}
@@ -336,35 +185,7 @@ func Decode(data []byte) (*Message, error) {
 	return nil, fmt.Errorf("soap: body contains no request, response or fault")
 }
 
-// DecodeRequest parses and requires a request message.
-func DecodeRequest(data []byte) (*Request, error) {
-	m, err := Decode(data)
-	if err != nil {
-		return nil, err
-	}
-	if m.Request == nil {
-		return nil, fmt.Errorf("soap: message is not a request")
-	}
-	return m.Request, nil
-}
-
-// DecodeResponse parses a response message, converting faults into *Fault
-// errors.
-func DecodeResponse(data []byte) (*Response, error) {
-	m, err := Decode(data)
-	if err != nil {
-		return nil, err
-	}
-	if m.Fault != nil {
-		return nil, m.Fault
-	}
-	if m.Response == nil {
-		return nil, fmt.Errorf("soap: message is not a response")
-	}
-	return m.Response, nil
-}
-
-func decodeRequest(rq *xdm.Node) (*Request, error) {
+func decodeRequestDOM(rq *xdm.Node) (*Request, error) {
 	req := &Request{
 		Module:   attrLocal(rq, "module"),
 		Method:   attrLocal(rq, "method"),
@@ -423,7 +244,7 @@ func decodeRequest(rq *xdm.Node) (*Request, error) {
 	return req, nil
 }
 
-func decodeResponse(rs *xdm.Node) (*Response, error) {
+func decodeResponseDOM(rs *xdm.Node) (*Response, error) {
 	resp := &Response{
 		Module: attrLocal(rs, "module"),
 		Method: attrLocal(rs, "method"),
@@ -447,7 +268,7 @@ func decodeResponse(rs *xdm.Node) (*Response, error) {
 	return resp, nil
 }
 
-func decodeFault(f *xdm.Node) *Fault {
+func decodeFaultDOM(f *xdm.Node) *Fault {
 	fault := &Fault{Code: "env:Receiver"}
 	if code := firstChildLocal(f, "Code"); code != nil {
 		if v := firstChildLocal(code, "Value"); v != nil {
@@ -465,7 +286,8 @@ func decodeFault(f *xdm.Node) *Fault {
 // fragments: navigating upwards or sideways from them yields empty
 // results, which is exactly the call-by-value guarantee the formal
 // semantics requires (a decoded node must never expose the SOAP envelope
-// or sibling parameters).
+// or sibling parameters). Besides the DOM decoder, the §4 wrapper uses
+// it on constructed (never-serialized) response trees.
 func DecodeSequence(seqEl *xdm.Node) (xdm.Sequence, error) {
 	var out xdm.Sequence
 	for _, v := range seqEl.ChildElements() {

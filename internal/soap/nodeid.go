@@ -111,15 +111,6 @@ func isAncestorOrSelf(anc, n *xdm.Node) bool {
 	return false
 }
 
-// writeItemRef writes either the full item or a nodeid reference.
-func writeItemRef(b *strings.Builder, it xdm.Item, ref *NodeRef) {
-	if ref == nil {
-		writeItem(b, it)
-		return
-	}
-	fmt.Fprintf(b, `<xrpc:element xrpc:nodeid=%q/>`, ref.String())
-}
-
 // ResolveNodeRefs walks decoded call parameters and replaces nodeid
 // placeholders with the actual nodes inside the referenced decoded
 // fragments. Placeholders are *xdm.Node elements named "xrpc:nodeid-ref"

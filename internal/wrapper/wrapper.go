@@ -168,7 +168,12 @@ func (w *Wrapper) Execute(req *soap.Request, raw []byte, docs interp.DocResolver
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
-			sh.res, sh.pul, sh.stat, sh.err = w.executeOnce(sh.req, soap.EncodeRequest(sh.req))
+			// pooled encoder: executeOnce copies the bytes into its
+			// per-request document source before returning
+			enc := soap.NewEncoder()
+			enc.EncodeRequest(sh.req)
+			sh.res, sh.pul, sh.stat, sh.err = w.executeOnce(sh.req, enc.Bytes())
+			enc.Release()
 		}(sh)
 	}
 	wg.Wait()

@@ -146,6 +146,51 @@ func NewAttribute(name, value string) *Node {
 	return &Node{Kind: AttributeNode, Name: name, Value: value}
 }
 
+// Arena batch-allocates nodes in slabs, for decoders that build many
+// small trees: one allocation per slab instead of one per node. Arena
+// nodes are ordinary nodes in every respect (identity is still the
+// pointer); an arena is not safe for concurrent use and is typically
+// scoped to one decoded message.
+type Arena struct {
+	slab []Node
+}
+
+// arenaSlab is the nodes-per-allocation batch size.
+const arenaSlab = 64
+
+func (a *Arena) node(kind NodeKind, name, value string) *Node {
+	if len(a.slab) == 0 {
+		a.slab = make([]Node, arenaSlab)
+	}
+	n := &a.slab[0]
+	a.slab = a.slab[1:]
+	n.Kind, n.Name, n.Value = kind, name, value
+	return n
+}
+
+// Element creates an element node from the arena.
+func (a *Arena) Element(name string) *Node { return a.node(ElementNode, name, "") }
+
+// Text creates a text node from the arena.
+func (a *Arena) Text(value string) *Node { return a.node(TextNode, "", value) }
+
+// Comment creates a comment node from the arena.
+func (a *Arena) Comment(value string) *Node { return a.node(CommentNode, "", value) }
+
+// PI creates a processing-instruction node from the arena.
+func (a *Arena) PI(target, value string) *Node { return a.node(PINode, target, value) }
+
+// Attribute creates an attribute node from the arena.
+func (a *Arena) Attribute(name, value string) *Node { return a.node(AttributeNode, name, value) }
+
+// Document creates a document node from the arena with its own tree
+// identity.
+func (a *Arena) Document(uri string) *Node {
+	n := a.node(DocumentNode, "", "")
+	n.tree = &treeInfo{id: docSeq.Add(1), uri: uri}
+	return n
+}
+
 // AppendChild links child under n (for document/element parents).
 func (n *Node) AppendChild(child *Node) {
 	child.Parent = n

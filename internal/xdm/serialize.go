@@ -4,6 +4,15 @@ import (
 	"strings"
 )
 
+// XMLWriter is the sink WriteNode streams XML text into. Both
+// strings.Builder and the soap package's pooled wire encoder satisfy it;
+// implementations must not fail (the returned errors exist only to match
+// the io.StringWriter/io.ByteWriter signatures and are ignored).
+type XMLWriter interface {
+	WriteString(s string) (int, error)
+	WriteByte(c byte) error
+}
+
 // SerializeNode renders a node as XML text, the XRPC wire representation
 // of node-typed values.
 func SerializeNode(n *Node) string {
@@ -11,6 +20,11 @@ func SerializeNode(n *Node) string {
 	writeNode(&b, n)
 	return b.String()
 }
+
+// WriteNode streams the XML serialization of n into w without building
+// intermediate strings — the zero-copy path the SOAP wire encoder uses
+// for node-typed parameters and results.
+func WriteNode(w XMLWriter, n *Node) { writeNode(w, n) }
 
 // SerializeSequence renders an XDM sequence the way fn:serialize /
 // MonetDB result serialization does: nodes as XML, atomics as string
@@ -33,7 +47,7 @@ func SerializeSequence(s Sequence) string {
 	return b.String()
 }
 
-func writeNode(b *strings.Builder, n *Node) {
+func writeNode(b XMLWriter, n *Node) {
 	switch n.Kind {
 	case DocumentNode:
 		for _, c := range n.Children {
@@ -84,34 +98,64 @@ func writeNode(b *strings.Builder, n *Node) {
 	}
 }
 
-func escapeText(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+// escapeText writes s with text-content escaping. It scans bytes and
+// copies maximal clean chunks in one WriteString; all escaped characters
+// are ASCII, so multi-byte runes pass through inside chunks untouched.
+func escapeText(b XMLWriter, s string) {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var rep string
+		switch s[i] {
 		case '<':
-			b.WriteString("&lt;")
+			rep = "&lt;"
 		case '>':
-			b.WriteString("&gt;")
+			rep = "&gt;"
 		case '&':
-			b.WriteString("&amp;")
+			rep = "&amp;"
 		default:
-			b.WriteRune(r)
+			continue
 		}
+		b.WriteString(s[last:i])
+		b.WriteString(rep)
+		last = i + 1
 	}
+	b.WriteString(s[last:])
 }
 
-func escapeAttr(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+// EscapeAttr writes s with attribute-value escaping — the one
+// authoritative escaping table for every attribute the wire format
+// emits (node serialization here, envelope headers in the soap
+// package). Besides the markup characters it escapes
+// tab/newline/carriage-return as character references: literal
+// attribute whitespace is normalized to spaces by conforming XML
+// parsers, so leaving it raw would not round-trip.
+func EscapeAttr(b XMLWriter, s string) { escapeAttr(b, s) }
+
+func escapeAttr(b XMLWriter, s string) {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var rep string
+		switch s[i] {
 		case '<':
-			b.WriteString("&lt;")
+			rep = "&lt;"
 		case '&':
-			b.WriteString("&amp;")
+			rep = "&amp;"
 		case '"':
-			b.WriteString("&quot;")
+			rep = "&quot;"
+		case '\n':
+			rep = "&#xA;"
+		case '\r':
+			rep = "&#xD;"
+		case '\t':
+			rep = "&#x9;"
 		default:
-			b.WriteRune(r)
+			continue
 		}
+		b.WriteString(s[last:i])
+		b.WriteString(rep)
+		last = i + 1
 	}
+	b.WriteString(s[last:])
 }
 
 // DeepEqual implements fn:deep-equal over two sequences: pairwise equal
