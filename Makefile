@@ -25,9 +25,12 @@ bench:
 
 # bench-smoke compiles and runs every benchmark exactly once so that
 # benchmark code can never rot uncompiled (it is part of ci). This
-# covers the algebra microbenchmarks and the cluster scatter-gather
-# benchmarks (BenchmarkClusterScatter_*, BenchmarkClusterShardedSemiJoin_*)
-# alongside the paper-table benchmarks.
+# covers the algebra microbenchmarks, the cluster scatter-gather
+# benchmarks (BenchmarkClusterScatter_*, BenchmarkClusterShardedSemiJoin_*),
+# and the writable-cluster benchmarks (BenchmarkClusterRoutedUpdate_*,
+# BenchmarkClusterPrunedProbe_*; full sweep: xrpcbench -table
+# cluster-update, snapshot in BENCH_cluster.json) alongside the
+# paper-table benchmarks.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 

@@ -15,10 +15,12 @@ import (
 	"time"
 
 	"xrpc/internal/bench"
+	"xrpc/internal/client"
 	"xrpc/internal/cluster"
 	"xrpc/internal/modules"
 	"xrpc/internal/netsim"
 	"xrpc/internal/strategies"
+	"xrpc/internal/xdm"
 	"xrpc/internal/xmark"
 )
 
@@ -225,6 +227,81 @@ func BenchmarkClusterShardedSemiJoin_P4(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := env.RunSemiJoin(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runClusterUpdate benches the routed write path: one updating bulk
+// (8 keys spread across shards) routed shard-by-shard and committed via
+// 2PC with replica PUL replication, per iteration. Deployment happens
+// outside the timer; identity vs the unsharded baseline is pinned by
+// bench.RunClusterUpdateBench and the cluster tests.
+func runClusterUpdate(b *testing.B, peers, replication int) {
+	b.Helper()
+	reg := modules.NewRegistry()
+	if err := reg.Register(bench.FunctionsP, "http://example.org/p.xq"); err != nil {
+		b.Fatal(err)
+	}
+	cfg := xmark.PaperConfig(0.2)
+	net := netsim.NewNetwork(0, 0)
+	dep, err := cluster.Deploy(net, reg,
+		map[string]string{"persons.xml": xmark.GeneratePersons(cfg)},
+		cluster.DeployConfig{Shards: peers, Replication: replication, Routes: bench.PersonRoutes()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := dep.Coordinator()
+	upd := &client.BulkRequest{
+		ModuleURI: "functions_p", AtHint: "http://example.org/p.xq",
+		Func: "setCity", Arity: 2, Updating: true,
+	}
+	for i := 0; i < 8; i++ {
+		upd.Calls = append(upd.Calls, []xdm.Sequence{
+			{xdm.String(xmark.PersonID(i * cfg.Persons / 8))}, {xdm.String("Benchtown")}})
+	}
+	if _, err := co.Update(upd); err != nil { // warm the function caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.Update(upd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterRoutedUpdate_P4(b *testing.B)   { runClusterUpdate(b, 4, 1) }
+func BenchmarkClusterRoutedUpdate_P4R2(b *testing.B) { runClusterUpdate(b, 4, 2) }
+
+// BenchmarkClusterPrunedProbe_P4 benches the predicate-pruned read
+// path: one single-key probe that range metadata routes to exactly one
+// of 4 shards.
+func BenchmarkClusterPrunedProbe_P4(b *testing.B) {
+	reg := modules.NewRegistry()
+	if err := reg.Register(bench.FunctionsP, "http://example.org/p.xq"); err != nil {
+		b.Fatal(err)
+	}
+	cfg := xmark.PaperConfig(0.2)
+	net := netsim.NewNetwork(0, 0)
+	dep, err := cluster.Deploy(net, reg,
+		map[string]string{"persons.xml": xmark.GeneratePersons(cfg)},
+		cluster.DeployConfig{Shards: 4, Routes: bench.PersonRoutes()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := dep.Coordinator()
+	probe := &client.BulkRequest{
+		ModuleURI: "functions_p", AtHint: "http://example.org/p.xq",
+		Func: "getPerson", Arity: 1,
+		Calls: [][]xdm.Sequence{{{xdm.String(xmark.PersonID(cfg.Persons / 2))}}},
+	}
+	if _, err := co.Scatter(probe); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.Scatter(probe); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,14 +9,16 @@
 //	xrpcbench -table bulkexec    server-side bulk execution: sequential vs parallel
 //	xrpcbench -table algebra     columnar vs row-store relational operators
 //	xrpcbench -table cluster     scatter-gather Bulk RPC over 1/2/4/8 shard peers
+//	xrpcbench -table cluster-update  routed vs broadcast writes, pruned vs full probes
 //	xrpcbench -table wire        SOAP encode/decode: streaming vs reference path
 //	xrpcbench -table all         everything
 //
 // The -scale flag scales the XMark data (1.0 = the paper's 250 persons /
 // 4875 auctions); -rtt sets the simulated round-trip latency; -parallel
 // sets the worker pool sizes compared by the bulkexec experiment; -gzip
-// adds gzip content-coding sizes to the wire experiment; -wire-json
-// writes the wire rows as a JSON snapshot (BENCH_wire.json).
+// adds gzip content-coding sizes to the wire experiment; -wire-json /
+// -cluster-json write the wire / cluster-update rows as JSON snapshots
+// (BENCH_wire.json, BENCH_cluster.json).
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	table := flag.String("table", "all",
-		"which experiment: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, wire, all")
+		"which experiment: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, cluster-update, wire, all")
 	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
 	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
@@ -43,6 +45,7 @@ func main() {
 	rows := flag.Int("rows", 16384, "input rows for the algebra experiment")
 	useGzip := flag.Bool("gzip", false, "measure gzip content-coding sizes in the wire experiment")
 	wireJSON := flag.String("wire-json", "", "write the wire experiment rows to this file as JSON")
+	clusterJSON := flag.String("cluster-json", "", "write the cluster-update experiment rows to this file as JSON")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -85,11 +88,45 @@ func main() {
 			return runCluster(*scale, *rtt)
 		})
 	}
+	if all || *table == "cluster-update" {
+		run("Cluster writes & pruned probes (routed vs broadcast)", func() error {
+			return runClusterUpdate(*scale, *rtt, *clusterJSON)
+		})
+	}
 	if all || *table == "wire" {
 		run("SOAP wire path (streaming vs reference)", func() error {
 			return runWire(*useGzip, *wireJSON)
 		})
 	}
+}
+
+// runClusterUpdate contrasts the range-aware cluster with its broadcast
+// predecessor: updating bulks routed to the owning shards (2PC over the
+// touched primaries) vs broadcast to every primary, and key-predicate
+// probes pruned by range metadata vs scattered to all shards. Every
+// mode's results are verified byte-identical to an unsharded
+// single-peer execution before timing.
+func runClusterUpdate(scale float64, rtt time.Duration, jsonPath string) error {
+	cfg := xmark.PaperConfig(scale)
+	fmt.Printf("XMark: %d persons; rtt %v, %d MB/s links\n",
+		cfg.Persons, rtt, bench.ClusterBandwidth/(1024*1024))
+	rows, err := bench.RunClusterUpdateBench(cfg, []int{2, 4, 8}, rtt, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatClusterUpdateBench(rows))
+	fmt.Println("\nall modes verified byte-identical to the unsharded single-peer baseline before timing")
+	if jsonPath != "" {
+		data, err := bench.ClusterUpdateSnapshotJSON(rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runWire contrasts the streaming wire path (pooled encoder + envelope

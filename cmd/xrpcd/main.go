@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -91,12 +92,19 @@ func main() {
 		}
 		fmt.Fprintf(w, "documents: %v\n", peer.Store.Names())
 	})
-	if *of > 0 {
-		log.Printf("XRPC peer %s (shard %d/%d) listening on %s (POST /xrpc)", *self, *shard, *of, *addr)
-	} else {
-		log.Printf("XRPC peer %s listening on %s (POST /xrpc)", *self, *addr)
+	// listen explicitly so -addr :0 (a kernel-chosen port) works and the
+	// actual address is logged — cluster tooling parses this line to
+	// build routing tables over freshly started peers
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if *of > 0 {
+		log.Printf("XRPC peer %s (shard %d/%d) listening on %s (POST /xrpc)", *self, *shard, *of, ln.Addr())
+	} else {
+		log.Printf("XRPC peer %s listening on %s (POST /xrpc)", *self, ln.Addr())
+	}
+	log.Fatal(http.Serve(ln, mux))
 }
 
 func loadDocs(peer *core.Peer, dir string, shard, of int) (int, error) {
@@ -115,9 +123,16 @@ func loadDocs(peer *core.Peer, dir string, shard, of int) (int, error) {
 		}
 		doc := string(text)
 		if of > 0 {
-			doc, err = cluster.PartitionShard(e.Name(), doc, shard, of)
+			var ranges []cluster.KeyRange
+			doc, ranges, err = cluster.PartitionShardWithRanges(e.Name(), doc, shard, of)
 			if err != nil {
 				return n, err
+			}
+			// advertise what this shard contains, so a coordinator can
+			// rebuild range metadata from shardInfo instead of trusting
+			// a static table
+			for _, r := range ranges {
+				peer.Server.ShardRanges = append(peer.Server.ShardRanges, r.String())
 			}
 		}
 		if err := peer.LoadDocument(e.Name(), doc); err != nil {

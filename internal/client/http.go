@@ -3,11 +3,14 @@ package client
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
+
+	"xrpc/internal/soap"
 )
 
 // DefaultHTTPTimeout bounds one XRPC request/response exchange.
@@ -81,6 +84,39 @@ func (e *HTTPError) Error() string {
 		return fmt.Sprintf("xrpc http: %s", e.Status)
 	}
 	return fmt.Sprintf("xrpc http: %s: %s", e.Status, e.Body)
+}
+
+// Retriable classifies the status: 5xx (and the two transient 4xx codes,
+// request-timeout and too-many-requests) mean the peer or an
+// intermediary failed and another replica may well succeed; any other
+// 4xx means the peer deterministically rejected the request, so
+// retrying it — at this replica or the next — can only repeat the
+// rejection.
+func (e *HTTPError) Retriable() bool {
+	switch e.StatusCode {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests:
+		return true
+	}
+	return e.StatusCode >= 500
+}
+
+// Retriable classifies an error from a send for failover purposes: true
+// when retrying against another replica of the same data might succeed
+// (connection refused, timeout, 5xx — the peer did not process the
+// request), false when the failure is definitive (a SOAP fault or a
+// definitive 4xx status — every replica holds the same shard and would
+// answer the same way). Unknown error types default to retriable, the
+// conservative choice for availability.
+func Retriable(err error) bool {
+	var fault *soap.Fault
+	if errors.As(err, &fault) {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Retriable()
+	}
+	return true
 }
 
 // errBodyLimit bounds how much of a failed response body travels in an

@@ -2,6 +2,7 @@ package client
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"xrpc/internal/soap"
 )
 
 func TestHTTPTransportNon2xxIsAnError(t *testing.T) {
@@ -97,6 +100,57 @@ func TestHTTPTransportSchemeRewrite(t *testing.T) {
 		}
 		if string(out) != "<resp/>" {
 			t.Fatalf("dest %q: response %q", dest, out)
+		}
+	}
+}
+
+// TestRetriableClassification pins the failover contract: transport
+// failures and 5xx statuses are worth retrying against another replica,
+// SOAP faults and definitive 4xx statuses are not.
+func TestRetriableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"connection refused", errors.New("dial tcp: connection refused"), true},
+		{"wrapped transport error", fmt.Errorf("xrpc: send: %w", errors.New("timeout")), true},
+		{"soap fault", &soap.Fault{Code: "env:Sender", Reason: "bad module"}, false},
+		{"wrapped soap fault", fmt.Errorf("shard 1: %w", &soap.Fault{Code: "env:Receiver", Reason: "x"}), false},
+		{"http 500", &HTTPError{StatusCode: 500, Status: "500 Internal Server Error"}, true},
+		{"http 503", &HTTPError{StatusCode: 503, Status: "503 Service Unavailable"}, true},
+		{"http 408 request timeout", &HTTPError{StatusCode: 408, Status: "408 Request Timeout"}, true},
+		{"http 429 too many requests", &HTTPError{StatusCode: 429, Status: "429 Too Many Requests"}, true},
+		{"http 400", &HTTPError{StatusCode: 400, Status: "400 Bad Request"}, false},
+		{"http 404", &HTTPError{StatusCode: 404, Status: "404 Not Found"}, false},
+		{"http 413 too large", &HTTPError{StatusCode: 413, Status: "413 Request Entity Too Large"}, false},
+		{"wrapped http 404", fmt.Errorf("send: %w", &HTTPError{StatusCode: 404, Status: "404"}), false},
+	}
+	for _, c := range cases {
+		if got := Retriable(c.err); got != c.want {
+			t.Errorf("%s: Retriable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestHTTPTransportStatusErrorsAreClassified exercises the end-to-end
+// path: real HTTP statuses surface as HTTPErrors with the right
+// retriability.
+func TestHTTPTransportStatusErrorsAreClassified(t *testing.T) {
+	for _, c := range []struct {
+		code int
+		want bool
+	}{{502, true}, {404, false}} {
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "nope", c.code)
+		}))
+		_, err := NewHTTPTransport().Send(hs.URL, "/xrpc", []byte("<req/>"))
+		hs.Close()
+		if err == nil {
+			t.Fatalf("status %d: expected an error", c.code)
+		}
+		if got := Retriable(err); got != c.want {
+			t.Errorf("status %d: Retriable = %v, want %v", c.code, got, c.want)
 		}
 	}
 }

@@ -1,12 +1,12 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"xrpc/internal/client"
-	"xrpc/internal/soap"
+	"xrpc/internal/txn"
 	"xrpc/internal/xdm"
 )
 
@@ -14,19 +14,57 @@ import (
 // scatter-gather dispatch in a Coordinator.
 const DefaultClusterURI = "xrpc://cluster"
 
-// Coordinator fans read-only Bulk RPC requests out across the shards of
-// a routing table and merges the responses. It implements
-// pathfinder.BulkCaller: requests addressed to ClusterURI are scattered
-// to every shard, any other destination passes through to the
-// underlying client unchanged — so a query can mix sharded and direct
-// execute-at destinations.
+// RouteSpec declares how the calls of one function map onto the
+// partition key space: parameter KeyArg of every call is a key drawn
+// from the partitioned container (Doc, Path). Registering a spec is a
+// promise about the function's semantics — its result on a shard whose
+// range cannot contain the key is empty, and its side effects touch
+// only the container rows with that key — which is what makes
+// predicate-pruned reads byte-identical to broadcast and single-shard
+// routed updates sound. The cluster-update benchmark and tests verify
+// the identity for every spec they register.
+type RouteSpec struct {
+	// ModuleURI and Func name the function the spec routes.
+	ModuleURI, Func string
+	// KeyArg is the index of the partition-key parameter.
+	KeyArg int
+	// Doc and Path name the partitioned container the key selects in
+	// (KeyRange coordinates, e.g. "persons.xml", "/site/people/person").
+	Doc, Path string
+}
+
+// Coordinator fans Bulk RPC requests out across the shards of a routing
+// table and merges the responses. It implements pathfinder.BulkCaller:
+// requests addressed to ClusterURI are scattered (reads) or routed
+// (updates), any other destination passes through to the underlying
+// client unchanged — so a query can mix sharded and direct execute-at
+// destinations.
 //
-// Merge semantics make the cluster look like one peer holding the whole
-// document: result i of the merged response is the concatenation, in
-// shard order, of every shard's result i. Because the partitioner cuts
-// contiguous subtree ranges, shard order is document order, and the
-// merged response is byte-identical to a single-peer execution of the
-// same bulk request against the unsharded document.
+// Reads. Merge semantics make the cluster look like one peer holding
+// the whole document: result i of the merged response is the
+// concatenation, in shard order, of every shard's result i. Because the
+// partitioner cuts contiguous subtree ranges, shard order is document
+// order, and the merged response is byte-identical to a single-peer
+// execution of the same bulk request against the unsharded document.
+// When a registered RouteSpec matches the request and the routing table
+// holds keyed range metadata for its container, the scatter is
+// predicate-pruned: each call is sent only to the shards whose key
+// bounds may contain the call's key (a probe for one person id contacts
+// one shard, not N), and shards left with no calls are not contacted at
+// all. Pruning is conservative — a shard is skipped only when its range
+// proves the key absent — so the merged response stays byte-identical.
+//
+// Updates. An updating bulk request is accepted when a RouteSpec
+// resolves every call to exactly one shard. Each call travels to its
+// shard's primary only, which evaluates it under the transaction's
+// queryID — deferring the pending update list against the pinned
+// snapshot (rule R'_Fu) — and the whole request then commits through
+// txn.Coordinator 2PC spanning the touched primaries. Between Prepare
+// and Commit the serialized PUL piggybacked on each primary's Prepare
+// ack is forwarded to the shard's replicas (WS-AT AdoptPUL), and the
+// commit is fenced on store.Version: a replica that fails to adopt, to
+// commit, or reports a version different from its primary's is evicted
+// from the routing table instead of serving stale reads.
 //
 // Error semantics mirror the server's parallel bulk executor: when
 // several shards fail (after replica failover), the error of the
@@ -35,15 +73,42 @@ type Coordinator struct {
 	// ClusterURI is the virtual scatter-gather destination
 	// (DefaultClusterURI if empty).
 	ClusterURI string
-	// Table routes shard index → replica peer URIs.
+	// Table routes shard index → replica peer URIs + range metadata.
 	Table *RoutingTable
 	// Client performs the actual sends (and keeps the traffic stats).
 	Client *client.Client
+	// TxnTimeout is the isolation timeout (seconds) of the queryIDs
+	// minted for routed updates (0 = 30).
+	TxnTimeout int
+	// OnEvict, when set, observes replica evictions (shard, uri, cause).
+	OnEvict func(shard int, uri string, reason error)
+
+	mu     sync.RWMutex
+	routes []RouteSpec
 }
 
 // NewCoordinator builds a coordinator over a routing table and client.
 func NewCoordinator(rt *RoutingTable, cl *client.Client) *Coordinator {
 	return &Coordinator{ClusterURI: DefaultClusterURI, Table: rt, Client: cl}
+}
+
+// Route registers a routing declaration (see RouteSpec).
+func (co *Coordinator) Route(spec RouteSpec) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.routes = append(co.routes, spec)
+}
+
+func (co *Coordinator) routeFor(br *client.BulkRequest) *RouteSpec {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	for i := range co.routes {
+		if co.routes[i].ModuleURI == br.ModuleURI && co.routes[i].Func == br.Func &&
+			co.routes[i].KeyArg >= 0 && co.routes[i].KeyArg < br.Arity {
+			return &co.routes[i]
+		}
+	}
+	return nil
 }
 
 func (co *Coordinator) clusterURI() string {
@@ -53,27 +118,40 @@ func (co *Coordinator) clusterURI() string {
 	return co.ClusterURI
 }
 
-// CallBulk implements pathfinder.BulkCaller. The cluster URI scatters;
-// everything else passes through.
+// CallBulk implements pathfinder.BulkCaller. The cluster URI scatters
+// read-only requests and routes updating ones; everything else passes
+// through.
 func (co *Coordinator) CallBulk(dest string, br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if dest != co.clusterURI() {
 		return co.Client.CallBulk(dest, br)
+	}
+	if br.Updating {
+		return co.Update(br)
 	}
 	return co.Scatter(br)
 }
 
 // CallOneAtATime implements pathfinder.BulkCaller (the Table 2
-// comparison mechanism): one scattered request per call.
+// comparison mechanism): one scattered (or routed) request per call.
 func (co *Coordinator) CallOneAtATime(dest string, br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if dest != co.clusterURI() {
 		return co.Client.CallOneAtATime(dest, br)
 	}
 	out := make([]xdm.Sequence, 0, len(br.Calls))
-	for _, call := range br.Calls {
+	for ci, call := range br.Calls {
 		single := *br
 		single.Calls = [][]xdm.Sequence{call}
 		single.SeqNrs = nil
-		res, err := co.Scatter(&single)
+		if br.SeqNrs != nil {
+			single.SeqNrs = []int64{br.SeqNrs[ci]}
+		}
+		var res []xdm.Sequence
+		var err error
+		if br.Updating {
+			res, err = co.Update(&single)
+		} else {
+			res, err = co.Scatter(&single)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -89,22 +167,27 @@ func (co *Coordinator) CallParallel(parts []*client.BulkByDest, total int) ([]xd
 	return client.DispatchParallel(co.CallBulk, parts, total)
 }
 
-// Scatter sends the bulk request to every shard concurrently and merges
-// the responses in shard order. Only read-only requests are
-// scatterable: an updating call would apply its side effects once per
-// shard.
+// Scatter sends the read-only bulk request to the shards and merges the
+// responses in shard order. When a RouteSpec matches and the table has
+// keyed ranges for its container, calls are pruned to the shards whose
+// ranges may contain their keys; otherwise every call broadcasts.
 //
-// Encode-once, scatter-many: the request body is destination-independent,
-// so it is encoded exactly once (into a pooled buffer) and the same bytes
-// are posted to every shard and reused across replica failover attempts —
-// regardless of shard × replica count, one scatter costs one encoding.
+// The broadcast path is encode-once, scatter-many: the request body is
+// destination-independent, so it is encoded exactly once (into a pooled
+// buffer) and the same bytes are posted to every shard and reused
+// across replica failover attempts. The pruned path ships per-shard
+// call subsets, so it encodes once per contacted shard instead — it
+// trades encodings for not sending (or executing) pruned calls at all.
 func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if br.Updating {
 		return nil, xdm.NewError("XRPC0007",
-			"cluster: updating bulk requests cannot be scatter-gathered")
+			"cluster: updating bulk requests are routed, not scattered (use Update/CallBulk)")
 	}
-	if co.Table == nil || !co.Table.Complete() {
-		return nil, xdm.NewError("XRPC0007", "cluster: incomplete routing table")
+	if err := co.validTable(); err != nil {
+		return nil, err
+	}
+	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
+		return co.scatterPruned(br, spec)
 	}
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
@@ -137,11 +220,115 @@ func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	return merged, nil
 }
 
+func (co *Coordinator) validTable() error {
+	if co.Table == nil {
+		return xdm.NewError("XRPC0007", "cluster: no routing table")
+	}
+	if err := co.Table.Validate(); err != nil {
+		return xdm.Errorf("XRPC0007", "cluster: invalid routing table: %v", err)
+	}
+	return nil
+}
+
+// callKey extracts call ci's partition key under spec ("" and false for
+// calls whose key parameter is not a singleton — those stay unpruned).
+func callKey(br *client.BulkRequest, ci int, spec *RouteSpec) (string, bool) {
+	args := br.Calls[ci]
+	if spec.KeyArg >= len(args) || len(args[spec.KeyArg]) != 1 {
+		return "", false
+	}
+	return args[spec.KeyArg][0].StringValue(), true
+}
+
+// shardPart is one shard's slice of a pruned or routed bulk request.
+type shardPart struct {
+	shard int
+	br    *client.BulkRequest
+	orig  []int // orig[j] = global index of the part's call j
+}
+
+// partition splits the request per shard under the route spec. Calls
+// without a usable key go to every shard (conservative).
+func (co *Coordinator) partition(br *client.BulkRequest, spec *RouteSpec) []*shardPart {
+	n := co.Table.NumShards()
+	byShard := make(map[int]*shardPart)
+	for ci := range br.Calls {
+		cand := allShards(n)
+		if key, ok := callKey(br, ci, spec); ok {
+			cand = co.Table.CandidateShards(spec.Doc, spec.Path, key)
+		}
+		for _, s := range cand {
+			part, ok := byShard[s]
+			if !ok {
+				sub := *br
+				sub.Calls, sub.SeqNrs = nil, nil
+				part = &shardPart{shard: s, br: &sub}
+				byShard[s] = part
+			}
+			part.br.Calls = append(part.br.Calls, br.Calls[ci])
+			if br.SeqNrs != nil {
+				part.br.SeqNrs = append(part.br.SeqNrs, br.SeqNrs[ci])
+			}
+			part.orig = append(part.orig, ci)
+		}
+	}
+	parts := make([]*shardPart, 0, len(byShard))
+	for _, p := range byShard {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].shard < parts[j].shard })
+	return parts
+}
+
+func allShards(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// scatterPruned ships each call only to its candidate shards. Merged
+// result i concatenates, in shard order, the results of the shards that
+// received call i — byte-identical to broadcast because a pruned shard's
+// range proves its result for the call would have been empty.
+func (co *Coordinator) scatterPruned(br *client.BulkRequest, spec *RouteSpec) ([]xdm.Sequence, error) {
+	parts := co.partition(br, spec)
+	results := make([][]xdm.Sequence, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part *shardPart) {
+			defer wg.Done()
+			enc := co.Client.EncodeBulk(part.br)
+			defer enc.Release()
+			results[i], errs[i] = co.callShard(part.shard, enc.Bytes(), len(part.br.Calls))
+		}(i, part)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", parts[i].shard, err)
+		}
+	}
+	// merged result i concatenates in ascending shard order (= document
+	// order); calls pruned everywhere (key provably on no shard) stay
+	// empty — the same answer every shard would have produced
+	merged := make([]xdm.Sequence, len(br.Calls))
+	for i, part := range parts {
+		for j, g := range part.orig {
+			merged[g] = append(merged[g], results[i][j]...)
+		}
+	}
+	return merged, nil
+}
+
 // callShard posts the pre-encoded request body to the shard's primary
-// and walks the replica list on transport-level failures — the same
-// bytes for every attempt, never re-encoding. Application errors (SOAP
-// faults) are definitive: every replica holds the same shard, so a
-// fault would only repeat.
+// and walks the replica list on retriable failures — the same bytes for
+// every attempt, never re-encoding. Definitive errors (SOAP faults,
+// 4xx HTTP statuses) stop the walk: every replica holds the same shard,
+// so a deterministic rejection would only repeat.
 func (co *Coordinator) callShard(shard int, body []byte, calls int) ([]xdm.Sequence, error) {
 	replicas := co.Table.Replicas(shard)
 	var lastErr error
@@ -150,11 +337,201 @@ func (co *Coordinator) callShard(shard int, body []byte, calls int) ([]xdm.Seque
 		if err == nil {
 			return res, nil
 		}
-		var fault *soap.Fault
-		if errors.As(err, &fault) {
+		if !client.Retriable(err) {
 			return nil, err
 		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("all %d replica(s) unreachable: %w", len(replicas), lastErr)
+}
+
+// ------------------------------------------------------------- updates
+
+// Update routes an updating bulk request through the cluster as one
+// distributed transaction: every call must resolve to exactly one shard
+// by partition key; each touched shard's primary evaluates its calls
+// under a fresh queryID (pending updates deferred against the pinned
+// snapshot); commit then runs through txn.Coordinator 2PC over the
+// touched primaries, with the prepared PUL forwarded to each shard's
+// replicas and the commit fenced on store.Version — replicas that fail
+// replication or diverge are evicted from the routing table.
+func (co *Coordinator) Update(br *client.BulkRequest) ([]xdm.Sequence, error) {
+	if err := co.validTable(); err != nil {
+		return nil, err
+	}
+	spec := co.routeFor(br)
+	if spec == nil {
+		return nil, xdm.Errorf("XRPC0007",
+			"cluster: no route for updating function %s#%s — register a cluster.RouteSpec naming its partition-key parameter",
+			br.ModuleURI, br.Func)
+	}
+	// resolve every call to its single owning shard
+	for ci := range br.Calls {
+		key, ok := callKey(br, ci, spec)
+		if !ok {
+			return nil, xdm.Errorf("XRPC0007",
+				"cluster: updating call %d has no singleton partition key (parameter %d)", ci, spec.KeyArg)
+		}
+		cand := co.Table.CandidateShards(spec.Doc, spec.Path, key)
+		if len(cand) != 1 {
+			return nil, xdm.Errorf("XRPC0007",
+				"cluster: updating call %d (key %q) is not routable to a single shard (%d candidates) — the container needs keyed range metadata",
+				ci, key, len(cand))
+		}
+	}
+	parts := co.partition(br, spec)
+
+	// one transaction per updating bulk request: a fresh queryID scopes
+	// the snapshot, the deferred PULs, and the 2PC verbs
+	timeout := co.TxnTimeout
+	if timeout <= 0 {
+		timeout = 30
+	}
+	txCl := client.New(co.Client.Transport)
+	txCl.QueryID = txn.NewQueryID(co.clusterURI(), timeout)
+	tc := &txn.Coordinator{Client: txCl}
+	primaries := make([]string, len(parts))
+	for i, part := range parts {
+		primaries[i] = co.Table.Primary(part.shard)
+	}
+
+	// apply phase: primary only, concurrently across shards. No replica
+	// failover here — a transport error mid-apply is ambiguous, and the
+	// safe answer is to abort the transaction, not to mutate a replica
+	// that the primary will diverge from.
+	results := make([][]xdm.Sequence, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part *shardPart) {
+			defer wg.Done()
+			results[i], errs[i] = txCl.CallBulk(primaries[i], part.br)
+		}(i, part)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			tc.AbortAll(primaries)
+			return nil, fmt.Errorf("cluster: shard %d: %w", parts[i].shard, err)
+		}
+	}
+
+	// 2PC phase 1 over the touched primaries; the Prepare acks carry the
+	// serialized PULs (aborts everywhere on failure)
+	prepRes, err := tc.PrepareAll(primaries)
+	if err != nil {
+		return nil, err
+	}
+
+	// replica PUL replication: forward each primary's prepared PUL to
+	// the shard's replicas; a replica that cannot adopt it is evicted
+	// (it would serve stale reads after commit)
+	type adoptedReplica struct {
+		shard int
+		uri   string
+	}
+	var adopted []adoptedReplica
+	for i, part := range parts {
+		pulNode := prepPUL(prepRes[i])
+		if pulNode == nil {
+			continue // empty PUL: replicas stay consistent without it
+		}
+		for _, uri := range co.Table.Replicas(part.shard)[1:] {
+			_, err := txCl.CallBulk(uri, &client.BulkRequest{
+				ModuleURI: txn.WSATModule,
+				Func:      "AdoptPUL",
+				Arity:     1,
+				Calls:     [][]xdm.Sequence{{xdm.Singleton(pulNode)}},
+			})
+			if err != nil {
+				co.evict(part.shard, uri, fmt.Errorf("PUL replication failed: %w", err))
+				continue
+			}
+			adopted = append(adopted, adoptedReplica{part.shard, uri})
+		}
+	}
+
+	// 2PC phase 2: commit the primaries (heuristic failures reported but
+	// the rest still commit), then the adopted replicas — fenced on the
+	// store version their primary reported
+	commitRes, commitErr := tc.CommitPrepared(primaries)
+	primVersion := make(map[int]int64, len(parts))
+	for i, part := range parts {
+		if v, ok := commitVersion(commitRes[i]); ok {
+			primVersion[part.shard] = v
+		}
+	}
+	for _, rep := range adopted {
+		want, haveWant := primVersion[rep.shard]
+		if !haveWant {
+			// the primary's own commit failed (a heuristic outcome): the
+			// replica must not commit against an unverifiable primary
+			// state — release its prepared snapshot and evict it
+			co.abortPeer(txCl, rep.uri)
+			co.evict(rep.shard, rep.uri,
+				fmt.Errorf("primary commit failed; replica consistency unverifiable"))
+			continue
+		}
+		res, err := txCl.CallBulk(rep.uri, &client.BulkRequest{
+			ModuleURI: txn.WSATModule,
+			Func:      "Commit",
+			Arity:     0,
+			Calls:     [][]xdm.Sequence{{}},
+		})
+		if err != nil {
+			co.evict(rep.shard, rep.uri, fmt.Errorf("replica commit failed: %w", err))
+			continue
+		}
+		got, ok := commitVersion(res[0])
+		if !ok || got != want {
+			co.evict(rep.shard, rep.uri,
+				fmt.Errorf("version fence: replica at %d, primary at %d", got, want))
+		}
+	}
+
+	merged := make([]xdm.Sequence, len(br.Calls))
+	for i, part := range parts {
+		for j, g := range part.orig {
+			merged[g] = results[i][j]
+		}
+	}
+	return merged, commitErr
+}
+
+// abortPeer releases a peer's deferred transaction state, best-effort
+// (an unreachable peer expires the queryID via its timeout instead).
+func (co *Coordinator) abortPeer(txCl *client.Client, uri string) {
+	_, _ = txCl.CallBulk(uri, &client.BulkRequest{
+		ModuleURI: txn.WSATModule,
+		Func:      "Abort",
+		Arity:     0,
+		Calls:     [][]xdm.Sequence{{}},
+	})
+}
+
+func (co *Coordinator) evict(shard int, uri string, reason error) {
+	if co.Table.Evict(shard, uri) && co.OnEvict != nil {
+		co.OnEvict(shard, uri, reason)
+	}
+}
+
+// prepPUL extracts the serialized pending update list piggybacked on a
+// Prepare ack (nil when the primary's PUL was empty).
+func prepPUL(res xdm.Sequence) *xdm.Node {
+	if len(res) < 2 {
+		return nil
+	}
+	n, _ := res[1].(*xdm.Node)
+	return n
+}
+
+// commitVersion extracts the post-commit store version from a Commit
+// ack.
+func commitVersion(res xdm.Sequence) (int64, bool) {
+	if len(res) < 2 {
+		return 0, false
+	}
+	v, ok := res[1].(xdm.Integer)
+	return int64(v), ok
 }

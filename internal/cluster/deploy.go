@@ -26,6 +26,10 @@ type DeployConfig struct {
 	// Parallelism, when > 1, sizes each shard server's bulk execution
 	// worker pool.
 	Parallelism int
+	// Routes are registered on every coordinator built from this
+	// deployment: the partition-key declarations that enable routed
+	// single-shard updates and predicate-pruned scatters.
+	Routes []RouteSpec
 }
 
 // Deployment is a set of shard peers registered on one netsim.Network,
@@ -38,6 +42,8 @@ type Deployment struct {
 	// Servers[s][j] is replica j of shard s; Stores[s][j] its store.
 	Servers [][]*server.Server
 	Stores  [][]*store.Store
+	// Routes are the partition-key declarations of the deployment.
+	Routes []RouteSpec
 }
 
 // Deploy partitions every document in docs across cfg.Shards shard
@@ -63,16 +69,28 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 		Servers: make([][]*server.Server, cfg.Shards),
 		Stores:  make([][]*store.Store, cfg.Shards),
 	}
-	// partition once per document, reused by every replica of a shard
+	// partition once per document, reused by every replica of a shard;
+	// the emitted ranges become the routing table's partition metadata
 	parts := make(map[string][]string, len(docs))
+	shardRanges := make([][]KeyRange, cfg.Shards)
 	for name, xml := range docs {
-		p, err := Partition(name, xml, cfg.Shards)
+		p, ranges, err := PartitionWithRanges(name, xml, cfg.Shards)
 		if err != nil {
 			return nil, err
 		}
 		parts[name] = p
+		for s := 0; s < cfg.Shards; s++ {
+			shardRanges[s] = append(shardRanges[s], ranges[s]...)
+		}
 	}
 	for s := 0; s < cfg.Shards; s++ {
+		if err := rt.SetRanges(s, shardRanges[s]); err != nil {
+			return nil, err
+		}
+		descriptors := make([]string, len(shardRanges[s]))
+		for i, r := range shardRanges[s] {
+			descriptors[i] = r.String()
+		}
 		for j := 0; j < cfg.Replication; j++ {
 			uri := fmt.Sprintf("%s%d", cfg.URIPrefix, s)
 			if j > 0 {
@@ -87,6 +105,7 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 			srv := server.New(st, reg, server.NewNativeExecutor(interp.New(st, reg, nil), reg))
 			srv.Self = uri
 			srv.Shard, srv.Shards = s, cfg.Shards
+			srv.ShardRanges = descriptors
 			if cfg.Parallelism > 1 {
 				srv.SetParallelism(cfg.Parallelism)
 			}
@@ -98,14 +117,19 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 			dep.Stores[s] = append(dep.Stores[s], st)
 		}
 	}
+	dep.Routes = cfg.Routes
 	return dep, nil
 }
 
 // Coordinator returns a scatter-gather coordinator over this
 // deployment's routing table, sending through a fresh client on the
-// deployment's network.
+// deployment's network, with the deployment's routes registered.
 func (d *Deployment) Coordinator() *Coordinator {
-	return NewCoordinator(d.Table, client.New(d.Net))
+	co := NewCoordinator(d.Table, client.New(d.Net))
+	for _, r := range d.Routes {
+		co.Route(r)
+	}
+	return co
 }
 
 // ShardURIs returns the primary URI of every shard, in shard order.

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xrpc/internal/client"
+	"xrpc/internal/xdm"
+	"xrpc/internal/xmark"
+)
+
+// TestXrpcdUpdateReadYourWrites drives the write path end-to-end over
+// three live xrpcd processes (mirroring TestCoordinatorOverHTTP, but
+// with real daemons instead of httptest handlers): two shards, the
+// second with a primary and a replica. The coordinator learns each
+// shard's range metadata from the peers' own shardInfo responses,
+// routes an update to the owning shard, commits it via 2PC with the PUL
+// forwarded to the replica — and the replica then serves the updated
+// value after the primary is killed (read-your-writes through any
+// replica).
+func TestXrpcdUpdateReadYourWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "xrpcd")
+	build := exec.Command("go", "build", "-o", bin, "xrpc/cmd/xrpcd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building xrpcd: %v\n%s", err, out)
+	}
+
+	const persons = 10
+	docs := filepath.Join(tmp, "docs")
+	mods := filepath.Join(tmp, "modules")
+	for _, d := range []string{docs, mods} {
+		if err := os.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xml := xmark.GeneratePersons(xmark.Config{Persons: persons, Seed: 11})
+	if err := os.WriteFile(filepath.Join(docs, "persons.xml"), []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mods, "p.xq"), []byte(personsModule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// start returns the peer's actual listen address, parsed from its
+	// startup log line
+	start := func(shard int) (string, *exec.Cmd) {
+		t.Helper()
+		cmd := exec.Command(bin,
+			"-addr", "127.0.0.1:0",
+			"-shard", fmt.Sprint(shard), "-of", "2",
+			"-docs", docs, "-modules", mods)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				line := sc.Text()
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					rest := line[i+len("listening on "):]
+					if j := strings.IndexByte(rest, ' '); j > 0 {
+						rest = rest[:j]
+					}
+					addrCh <- rest
+					return
+				}
+			}
+			addrCh <- ""
+		}()
+		select {
+		case addr := <-addrCh:
+			if addr == "" {
+				t.Fatalf("shard %d peer exited before listening", shard)
+			}
+			return "http://" + addr, cmd
+		case <-time.After(20 * time.Second):
+			t.Fatalf("shard %d peer did not report its address", shard)
+		}
+		return "", nil
+	}
+
+	shard0URL, _ := start(0)
+	shard1URL, shard1Primary := start(1)
+	shard1ReplicaURL, _ := start(1) // a second process serving shard 1
+
+	rt, err := NewRoutingTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, uris := range [][]string{{shard0URL}, {shard1URL, shard1ReplicaURL}} {
+		for _, uri := range uris {
+			if err := rt.Add(s, uri); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cl := client.New(client.NewHTTPTransportTimeout(10 * time.Second))
+
+	// learn what each shard contains from the peers themselves: the
+	// shardInfo system call reports the partitioner's range descriptors
+	for s := 0; s < 2; s++ {
+		res, err := cl.CallBulk(rt.Primary(s), &client.BulkRequest{
+			ModuleURI: client.SystemModule,
+			Func:      "shardInfo",
+			Arity:     0,
+			Calls:     [][]xdm.Sequence{{}},
+		})
+		if err != nil {
+			t.Fatalf("shardInfo at shard %d: %v", s, err)
+		}
+		var ranges []KeyRange
+		for _, item := range res[0] {
+			if r, perr := ParseKeyRange(item.StringValue()); perr == nil {
+				ranges = append(ranges, r)
+			}
+		}
+		if len(ranges) == 0 {
+			t.Fatalf("shard %d reported no ranges: %v", s, res[0])
+		}
+		if err := rt.SetRanges(s, ranges); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Validate(); err != nil {
+		t.Fatalf("table built from live shardInfo does not validate: %v", err)
+	}
+
+	co := NewCoordinator(rt, cl)
+	for _, r := range personRoutes() {
+		co.Route(r)
+	}
+
+	// person7 lives on shard 1 ([5,10)); update it through the cluster
+	if _, err := co.CallBulk(DefaultClusterURI, setCityRequest("Delft", "person7")); err != nil {
+		t.Fatalf("routed update over live peers: %v", err)
+	}
+
+	probe := getPersonRequest("person7")
+	wantCity := func(res []xdm.Sequence, who string) {
+		t.Helper()
+		text := xdm.SerializeSequence(res[0])
+		if !strings.Contains(text, "<city>Delft</city>") {
+			t.Fatalf("%s does not serve the committed update:\n%s", who, text)
+		}
+	}
+	viaPrimary, err := co.Scatter(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCity(viaPrimary, "the shard 1 primary")
+
+	// read-your-writes through the replica: kill the primary, the
+	// pruned probe fails over and must still see the update
+	shard1Primary.Process.Kill()
+	shard1Primary.Wait()
+	viaReplica, err := co.Scatter(probe)
+	if err != nil {
+		t.Fatalf("probe after primary death: %v", err)
+	}
+	wantCity(viaReplica, "the shard 1 replica")
+
+	// byte-identity: the replica's answer matches the primary's
+	if !bytes.Equal(encodeResults(probe, viaPrimary), encodeResults(probe, viaReplica)) {
+		t.Fatal("replica answer differs from the primary's pre-failover answer")
+	}
+}

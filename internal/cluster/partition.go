@@ -40,31 +40,52 @@ import (
 // fact data, at the cost of scatter-gather identity only holding for
 // queries that select inside partitioned containers.
 func Partition(name, xml string, n int) ([]string, error) {
+	texts, _, err := PartitionWithRanges(name, xml, n)
+	return texts, err
+}
+
+// PartitionWithRanges splits like Partition and additionally emits each
+// shard's partition metadata: one KeyRange per container per shard,
+// recording the child-ordinal slice the shard received and — when the
+// container's children carry a common attribute whose values are
+// strictly increasing in natural order (persons.xml ids, for example) —
+// the key bounds of that slice. The ranges are what a RoutingTable
+// needs to route single-shard updates and prune key-predicate scatters.
+func PartitionWithRanges(name, xml string, n int) ([]string, [][]KeyRange, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("cluster: partition into %d shards", n)
+		return nil, nil, fmt.Errorf("cluster: partition into %d shards", n)
 	}
 	doc, err := xdm.ParseDocument(name, xml)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: partition %s: %w", name, err)
+		return nil, nil, fmt.Errorf("cluster: partition %s: %w", name, err)
 	}
-	out := make([]string, n)
+	texts := make([]string, n)
+	ranges := make([][]KeyRange, n)
 	for k := 0; k < n; k++ {
-		out[k] = xdm.SerializeNode(shardTree(doc, k, n))
+		texts[k] = xdm.SerializeNode(shardTree(doc, k, n, name, "", &ranges[k]))
 	}
-	return out, nil
+	return texts, ranges, nil
 }
 
 // PartitionShard returns only shard k of n (what one xrpcd -shard k
 // -of n peer loads), without materializing the other shards.
 func PartitionShard(name, xml string, k, n int) (string, error) {
+	text, _, err := PartitionShardWithRanges(name, xml, k, n)
+	return text, err
+}
+
+// PartitionShardWithRanges returns shard k of n plus its partition
+// metadata (what xrpcd -shard k -of n reports via shardInfo).
+func PartitionShardWithRanges(name, xml string, k, n int) (string, []KeyRange, error) {
 	if k < 0 || k >= n {
-		return "", fmt.Errorf("cluster: shard %d out of range [0,%d)", k, n)
+		return "", nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", k, n)
 	}
 	doc, err := xdm.ParseDocument(name, xml)
 	if err != nil {
-		return "", fmt.Errorf("cluster: partition %s: %w", name, err)
+		return "", nil, fmt.Errorf("cluster: partition %s: %w", name, err)
 	}
-	return xdm.SerializeNode(shardTree(doc, k, n)), nil
+	var ranges []KeyRange
+	return xdm.SerializeNode(shardTree(doc, k, n, name, "", &ranges)), ranges, nil
 }
 
 // isContainer reports whether n's children are a run of same-named
@@ -91,10 +112,49 @@ func isContainer(n *xdm.Node) bool {
 	return elems >= 2
 }
 
+// containerKey detects the container's partition key: an attribute
+// every child element carries, with values strictly increasing in
+// natural key order across the whole container. "id" is preferred when
+// it qualifies; otherwise the first qualifying attribute of the first
+// child (in its attribute order) wins, deterministically. Returns
+// ("", nil) for unkeyed containers — pruning then stays disabled for
+// them, which is always sound.
+func containerKey(kids []*xdm.Node) (string, []string) {
+	if len(kids) == 0 {
+		return "", nil
+	}
+	var candidates []string
+	if _, ok := kids[0].Attr("id"); ok {
+		candidates = append(candidates, "id")
+	}
+	for _, a := range kids[0].Attrs {
+		if a.Name != "id" {
+			candidates = append(candidates, a.Name)
+		}
+	}
+next:
+	for _, attr := range candidates {
+		keys := make([]string, len(kids))
+		for i, ch := range kids {
+			v, ok := ch.Attr(attr)
+			if !ok {
+				continue next
+			}
+			if i > 0 && CompareKeys(keys[i-1], v) >= 0 {
+				continue next // not strictly increasing: bounds would lie
+			}
+			keys[i] = v
+		}
+		return attr, keys
+	}
+	return "", nil
+}
+
 // shardTree builds shard k's copy of the tree under n: containers keep
 // only their k-th child range (copied whole, nested repeats intact),
-// everything else is copied verbatim and recursed into.
-func shardTree(n *xdm.Node, k, shards int) *xdm.Node {
+// everything else is copied verbatim and recursed into. Each container
+// encountered appends shard k's KeyRange to *ranges.
+func shardTree(n *xdm.Node, k, shards int, doc, path string, ranges *[]KeyRange) *xdm.Node {
 	c := &xdm.Node{Kind: n.Kind, Name: n.Name, Value: n.Value, TypeAnn: n.TypeAnn}
 	for _, a := range n.Attrs {
 		c.SetAttr(xdm.NewAttribute(a.Name, a.Value))
@@ -102,9 +162,20 @@ func shardTree(n *xdm.Node, k, shards int) *xdm.Node {
 	if n.Kind != xdm.DocumentNode && n.Kind != xdm.ElementNode {
 		return c
 	}
+	if n.Kind == xdm.ElementNode {
+		path += "/" + n.Name
+	}
 	if isContainer(n) {
 		kids := n.ChildElements()
 		lo, hi := k*len(kids)/shards, (k+1)*len(kids)/shards
+		r := KeyRange{Doc: doc, Path: path + "/" + kids[0].Name, Lo: lo, Hi: hi}
+		if attr, keys := containerKey(kids); attr != "" {
+			r.Keyed, r.KeyAttr = true, attr
+			if lo < hi {
+				r.MinKey, r.MaxKey = keys[lo], keys[hi-1]
+			}
+		}
+		*ranges = append(*ranges, r)
 		for _, ch := range kids[lo:hi] {
 			cc := ch.Clone()
 			c.AppendChild(cc)
@@ -112,7 +183,7 @@ func shardTree(n *xdm.Node, k, shards int) *xdm.Node {
 		return c
 	}
 	for _, ch := range n.Children {
-		c.AppendChild(shardTree(ch, k, shards))
+		c.AppendChild(shardTree(ch, k, shards, doc, path, ranges))
 	}
 	return c
 }

@@ -352,6 +352,10 @@ func ApplyUpdates(st *store.Store, ul *UpdateList) error {
 		}
 		g.prims = append(g.prims, p)
 	}
+	// stage every new document version, then swap them in atomically:
+	// one applyUpdates is one version step, which keeps primary and
+	// replica store versions comparable for replication fencing
+	batch := make(map[string]*xdm.Node, len(order)+len(puts))
 	for _, g := range order {
 		if g.name == "" {
 			return xdm.NewError("XUDY0014", "update target is not in a stored document")
@@ -368,7 +372,7 @@ func ApplyUpdates(st *store.Store, ul *UpdateList) error {
 		}
 		clone.Seal()
 		clone.SetDocURI(g.name)
-		st.Put(g.name, clone)
+		batch[g.name] = clone
 	}
 	for _, p := range puts {
 		doc := xdm.NewDocument(p.PutURI)
@@ -376,8 +380,9 @@ func ApplyUpdates(st *store.Store, ul *UpdateList) error {
 			doc.AppendChild(n.Clone())
 		}
 		doc.Seal()
-		st.Put(p.PutURI, doc)
+		batch[p.PutURI] = doc
 	}
+	st.PutBatch(batch)
 	return nil
 }
 

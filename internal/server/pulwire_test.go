@@ -1,0 +1,130 @@
+package server
+
+import (
+	"testing"
+
+	"xrpc/internal/interp"
+	"xrpc/internal/modules"
+	"xrpc/internal/soap"
+	"xrpc/internal/store"
+	"xrpc/internal/xdm"
+)
+
+const filmDB = `<films>
+<film><name>The Rock</name><actor>Sean Connery</actor></film>
+<film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+</films>`
+
+// collectPUL runs an updating query against a fresh store and returns
+// the pending update list it produced (plus the store).
+func collectPUL(t *testing.T, query string) (*interp.UpdateList, *store.Store) {
+	t.Helper()
+	st := store.New()
+	if err := st.LoadXML("filmDB.xml", filmDB); err != nil {
+		t.Fatal(err)
+	}
+	eng := interp.New(st, modules.NewRegistry(), nil)
+	c, err := eng.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pul, err := c.Eval(&interp.EvalOptions{CollectUpdates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pul, st
+}
+
+// TestPULWireRoundTrip pins the replica-replication contract: a PUL
+// encoded at the primary and decoded against an identical tree (the
+// replica's snapshot) applies to the same effect — byte-identical
+// documents on both sides.
+func TestPULWireRoundTrip(t *testing.T) {
+	queries := []string{
+		`insert node <film><name>Dr. No</name><actor>Sean Connery</actor></film>
+		 into doc("filmDB.xml")/films`,
+		`delete node doc("filmDB.xml")//film[name="The Rock"]`,
+		`replace value of node doc("filmDB.xml")//film[1]/name with "Renamed <Film> 2"`,
+		`rename node doc("filmDB.xml")//film[2]/actor as "star"`,
+		`(insert node <film><name>A</name><actor>B</actor></film> into doc("filmDB.xml")/films,
+		  replace value of node doc("filmDB.xml")//film[1]/name with "")`,
+	}
+	for _, q := range queries {
+		pul, primary := collectPUL(t, q)
+		if pul.Empty() {
+			t.Fatalf("query produced no pending updates: %s", q)
+		}
+		pul.SetSeqBase(3) // exercise seq round-tripping
+
+		// the wire node survives a SOAP round trip (it travels inside a
+		// Prepare response / AdoptPUL parameter)
+		wire := EncodePUL(pul)
+		resp := soap.EncodeResponse(&soap.Response{
+			Module: WSATModule, Method: "Prepare",
+			Results: []xdm.Sequence{{xdm.String("prepared"), wire}},
+		})
+		decodedResp, err := soap.DecodeResponse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipped, ok := decodedResp.Results[0][1].(*xdm.Node)
+		if !ok {
+			t.Fatal("PUL did not survive the SOAP round trip as a node")
+		}
+
+		// replica: identical initial tree, decode against its snapshot
+		replica := store.New()
+		if err := replica.LoadXML("filmDB.xml", filmDB); err != nil {
+			t.Fatal(err)
+		}
+		snap := replica.Snapshot()
+		got, err := DecodePUL(shipped, snap)
+		if err != nil {
+			t.Fatalf("DecodePUL(%s): %v", q, err)
+		}
+
+		if err := interp.ApplyUpdates(primary, pul); err != nil {
+			t.Fatal(err)
+		}
+		if err := interp.ApplyUpdates(replica, got); err != nil {
+			t.Fatal(err)
+		}
+		pd, _ := primary.Get("filmDB.xml")
+		rd, _ := replica.Get("filmDB.xml")
+		if xdm.SerializeNode(pd) != xdm.SerializeNode(rd) {
+			t.Fatalf("replica diverged from primary after PUL round trip\nquery: %s\nprimary: %s\nreplica: %s",
+				q, xdm.SerializeNode(pd), xdm.SerializeNode(rd))
+		}
+		if pv, rv := primary.Version(), replica.Version(); pv != rv {
+			t.Fatalf("version fence would fire on an identical commit: primary %d, replica %d", pv, rv)
+		}
+	}
+}
+
+func TestDecodePULRejectsMisaimedTargets(t *testing.T) {
+	pul, _ := collectPUL(t, `delete node doc("filmDB.xml")//film[1]`)
+	wire := EncodePUL(pul)
+
+	// a replica that never loaded the document must refuse
+	empty := store.New()
+	if _, err := DecodePUL(wire, empty.Snapshot()); err == nil {
+		t.Fatal("adopted a PUL for a document the replica does not hold")
+	}
+
+	// a replica with a diverged (smaller) tree must refuse an
+	// out-of-range ordinal
+	tiny := store.New()
+	if err := tiny.LoadXML("filmDB.xml", "<films/>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePUL(wire, tiny.Snapshot()); err == nil {
+		t.Fatal("adopted a PUL whose target ordinal is absent from the replica tree")
+	}
+
+	// garbage roots are rejected
+	junk := xdm.NewElement("not-a-pul")
+	junk.Seal()
+	if _, err := DecodePUL(junk, empty.Snapshot()); err == nil {
+		t.Fatal("accepted a non-PUL element")
+	}
+}

@@ -70,6 +70,12 @@ type Server struct {
 	// Reported by the shardInfo system call so coordinators can verify
 	// cluster membership.
 	Shard, Shards int
+	// ShardRanges describes what this shard *contains*: one descriptor
+	// per partitioned container (cluster.KeyRange.String() format, which
+	// cluster.ParseKeyRange round-trips). Appended to the shardInfo
+	// response so a coordinator can rebuild range metadata from live
+	// peers instead of trusting a static table.
+	ShardRanges []string
 	// Gzip enables gzip Content-Encoding on HTTP responses for clients
 	// that advertise Accept-Encoding: gzip (off by default; gzip-encoded
 	// request bodies are always accepted). The paper's §3.3 message-size
@@ -309,6 +315,9 @@ func (s *Server) handleSystem(req *soap.Request) (*soap.Response, error) {
 		for _, n := range s.Store.Names() {
 			seq = append(seq, xdm.String(n))
 		}
+		for _, r := range s.ShardRanges {
+			seq = append(seq, xdm.String(r))
+		}
 		return &soap.Response{
 			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
 		}, nil
@@ -318,6 +327,17 @@ func (s *Server) handleSystem(req *soap.Request) (*soap.Response, error) {
 }
 
 // handleWSAT serves the WS-AtomicTransaction participant interface.
+//
+//   - Prepare brings the queryID's deferred state into prepared state and
+//     piggybacks the serialized pending update list on the ack, so a
+//     cluster coordinator can forward it to the shard's replicas without
+//     an extra round trip.
+//   - AdoptPUL (one node parameter) is the replica side of that
+//     forwarding: the peer pins a snapshot for the queryID, resolves the
+//     serialized primitives against it, and enters prepared state.
+//   - Commit applies the pending updates and reports the post-commit
+//     store.Version — the replication fence: a replica whose reported
+//     version differs from its primary's diverged and must stop serving.
 func (s *Server) handleWSAT(req *soap.Request) (*soap.Response, error) {
 	if req.QueryID == nil {
 		return nil, xdm.NewError("XRPC0005", "WS-AT verb without queryID")
@@ -326,11 +346,26 @@ func (s *Server) handleWSAT(req *soap.Request) (*soap.Response, error) {
 	var err error
 	switch req.Method {
 	case "Prepare":
-		err = s.iso.prepare(req.QueryID.ID)
+		var pul *xdm.Node
+		pul, err = s.iso.prepare(req.QueryID.ID)
 		result = xdm.Singleton(xdm.String("prepared"))
+		if pul != nil {
+			result = append(result, pul)
+		}
+	case "AdoptPUL":
+		if len(req.Calls) != 1 || len(req.Calls[0]) != 1 || len(req.Calls[0][0]) != 1 {
+			return nil, xdm.NewError("XRPC0005", "AdoptPUL takes one pending-update-list node")
+		}
+		n, ok := req.Calls[0][0][0].(*xdm.Node)
+		if !ok {
+			return nil, xdm.NewError("XRPC0005", "AdoptPUL parameter is not a node")
+		}
+		err = s.iso.adopt(req.QueryID, n, s.Store)
+		result = xdm.Singleton(xdm.String("adopted"))
 	case "Commit":
-		err = s.iso.commit(req.QueryID.ID, s.Store)
-		result = xdm.Singleton(xdm.String("committed"))
+		var version int64
+		version, err = s.iso.commit(req.QueryID.ID, s.Store)
+		result = xdm.Sequence{xdm.String("committed"), xdm.Integer(version)}
 	case "Abort":
 		s.iso.abort(req.QueryID.ID)
 		result = xdm.Singleton(xdm.String("aborted"))
@@ -384,6 +419,9 @@ type isoManager struct {
 	expiredByHost map[string]time.Time
 	log           []string
 	now           func() time.Time
+	// commitMu serializes commit applies with their version reads (see
+	// commit).
+	commitMu sync.Mutex
 }
 
 func (m *isoManager) entryFor(qid *soap.QueryID, st *store.Store) (*isoEntry, error) {
@@ -419,7 +457,22 @@ func (m *isoManager) entryFor(qid *soap.QueryID, st *store.Store) (*isoEntry, er
 func (m *isoManager) gcLocked() {
 	now := m.now()
 	for id, e := range m.entries {
-		if e.prepared || !now.After(e.expires) {
+		limit := e.expires
+		if e.prepared {
+			// a prepared entry is in doubt: the coordinator may still
+			// Commit it, so it outlives its plain expiry — but not
+			// forever (a peer evicted from a cluster after a failed
+			// commit would otherwise pin its snapshot for the process
+			// lifetime). §2.2's "a timeout mechanism is inevitable" is
+			// the pragmatic answer to 2PC's blocking window: grant ten
+			// extra timeout periods, then presume abort.
+			timeout := e.qid.Timeout
+			if timeout <= 0 {
+				timeout = 30
+			}
+			limit = limit.Add(10 * time.Duration(timeout) * time.Second)
+		}
+		if !now.After(limit) {
 			continue
 		}
 		if last, ok := m.expiredByHost[e.qid.Host]; !ok || e.qid.Timestamp.After(last) {
@@ -437,30 +490,64 @@ func (m *isoManager) get(id string) (*isoEntry, bool) {
 }
 
 // prepare brings the query into prepared state and logs its pending
-// update list to the (simulated) stable log.
-func (m *isoManager) prepare(id string) error {
+// update list to the (simulated) stable log. The serialized list is
+// returned (nil when empty) for the Prepare-ack piggyback.
+func (m *isoManager) prepare(id string) (*xdm.Node, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e, ok := m.entries[id]
 	if !ok {
-		return xdm.Errorf("XRPC0006", "Prepare: unknown or expired queryID %s", id)
+		return nil, xdm.Errorf("XRPC0006", "Prepare: unknown or expired queryID %s", id)
 	}
 	e.prepared = true
 	m.log = append(m.log, fmt.Sprintf("PREPARE %s\n%s", id, e.pul.Describe()))
+	if e.pul.Empty() {
+		return nil, nil
+	}
+	return EncodePUL(e.pul), nil
+}
+
+// adopt is the replica side of PUL replication: pin a snapshot for the
+// queryID, resolve the serialized pending update list against it, and
+// enter prepared state so the coordinator's Commit applies it here too.
+func (m *isoManager) adopt(qid *soap.QueryID, pulNode *xdm.Node, st *store.Store) error {
+	e, err := m.entryFor(qid, st)
+	if err != nil {
+		return err
+	}
+	ul, err := DecodePUL(pulNode, e.snap)
+	if err != nil {
+		return err
+	}
+	e.addPUL(ul)
+	m.mu.Lock()
+	e.prepared = true
+	m.log = append(m.log, fmt.Sprintf("ADOPT %s\n%s", qid.ID, ul.Describe()))
+	m.mu.Unlock()
 	return nil
 }
 
 // commit applies the accumulated pending update lists, creating new
-// database state (rule at the end of §2.3).
-func (m *isoManager) commit(id string, st *store.Store) error {
+// database state (rule at the end of §2.3), and returns the store
+// version this commit produced. Commits are serialized (commitMu) so
+// the returned version is the one observed immediately after this
+// commit's own apply — concurrent transactions cannot slide a commit in
+// between the apply and the version read, which would make the
+// coordinator's replica version fence evict healthy replicas.
+func (m *isoManager) commit(id string, st *store.Store) (int64, error) {
 	m.mu.Lock()
 	e, ok := m.entries[id]
 	delete(m.entries, id)
 	m.mu.Unlock()
 	if !ok {
-		return xdm.Errorf("XRPC0006", "Commit: unknown queryID %s", id)
+		return 0, xdm.Errorf("XRPC0006", "Commit: unknown queryID %s", id)
 	}
-	return interp.ApplyUpdates(st, e.pul)
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	if err := interp.ApplyUpdates(st, e.pul); err != nil {
+		return 0, err
+	}
+	return st.Version(), nil
 }
 
 func (m *isoManager) abort(id string) {

@@ -50,6 +50,25 @@ func (s *Store) Put(name string, doc *xdm.Node) {
 	s.version++
 }
 
+// PutBatch stores (or replaces) several documents atomically, bumping
+// the version exactly once: a reader never observes a prefix of the
+// batch, and one committed transaction is one version step. The latter
+// is what makes the version usable as a replication fence — a primary
+// and a replica that applied the same sequence of commits to the same
+// initial documents are at the same version, so a version mismatch
+// after commit proves the replica diverged.
+func (s *Store) PutBatch(docs map[string]*xdm.Node) {
+	if len(docs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, doc := range docs {
+		s.docs[name] = doc
+	}
+	s.version++
+}
+
 // Delete removes a document.
 func (s *Store) Delete(name string) {
 	s.mu.Lock()

@@ -51,38 +51,72 @@ func (co *Coordinator) logf(event, peer string) {
 	}
 }
 
-func (co *Coordinator) verb(peer, method string) error {
-	_, err := co.Client.CallBulk(peer, &client.BulkRequest{
+func (co *Coordinator) verb(peer, method string) (xdm.Sequence, error) {
+	res, err := co.Client.CallBulk(peer, &client.BulkRequest{
 		ModuleURI: WSATModule,
 		Func:      method,
 		Arity:     0,
 		Calls:     [][]xdm.Sequence{{}},
 	})
-	return err
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// PrepareAll runs phase 1 of 2PC: Prepare at every peer, in order,
+// returning each peer's prepare result. The XRPC server piggybacks the
+// prepared (serialized) pending update list on the ack — result[i][1],
+// when present — which is what replica PUL replication forwards. If any
+// Prepare fails, every peer is aborted and the error returned; no peer
+// commits.
+func (co *Coordinator) PrepareAll(peers []string) ([]xdm.Sequence, error) {
+	out := make([]xdm.Sequence, 0, len(peers))
+	for _, p := range peers {
+		co.logf("prepare", p)
+		res, err := co.verb(p, "Prepare")
+		if err != nil {
+			co.logf("prepare-failed", p)
+			co.AbortAll(peers)
+			return nil, fmt.Errorf("txn: prepare failed at %s: %w", p, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CommitPrepared runs phase 2 over already-prepared peers, returning
+// each peer's commit result (the XRPC server reports its post-commit
+// store version as result[i][1] — the replication fence). A commit
+// failure after successful prepare is a heuristic outcome: it is
+// reported, but the remaining peers still commit; the failed peer's
+// result is nil.
+func (co *Coordinator) CommitPrepared(peers []string) ([]xdm.Sequence, error) {
+	out := make([]xdm.Sequence, len(peers))
+	var firstErr error
+	for i, p := range peers {
+		co.logf("commit", p)
+		res, err := co.verb(p, "Commit")
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("txn: commit failed at %s: %w", p, err)
+			}
+			continue
+		}
+		out[i] = res
+	}
+	return out, firstErr
 }
 
 // CommitAll runs the 2PC protocol over all peers: Prepare each (phase
 // 1), then Commit each (phase 2). If any Prepare fails, every peer is
 // aborted and the error is returned — no peer commits.
 func (co *Coordinator) CommitAll(peers []string) error {
-	for _, p := range peers {
-		co.logf("prepare", p)
-		if err := co.verb(p, "Prepare"); err != nil {
-			co.logf("prepare-failed", p)
-			co.AbortAll(peers)
-			return fmt.Errorf("txn: prepare failed at %s: %w", p, err)
-		}
+	if _, err := co.PrepareAll(peers); err != nil {
+		return err
 	}
-	var firstErr error
-	for _, p := range peers {
-		co.logf("commit", p)
-		if err := co.verb(p, "Commit"); err != nil && firstErr == nil {
-			// a commit failure after successful prepare is a heuristic
-			// outcome; report it but keep committing the rest
-			firstErr = fmt.Errorf("txn: commit failed at %s: %w", p, err)
-		}
-	}
-	return firstErr
+	_, err := co.CommitPrepared(peers)
+	return err
 }
 
 // AbortAll tells every peer to discard the query's deferred state.
@@ -91,6 +125,6 @@ func (co *Coordinator) CommitAll(peers []string) error {
 func (co *Coordinator) AbortAll(peers []string) {
 	for _, p := range peers {
 		co.logf("abort", p)
-		_ = co.verb(p, "Abort")
+		_, _ = co.verb(p, "Abort")
 	}
 }
