@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke ci
+.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke memsmoke ci
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,15 @@ bench:
 # bench-smoke compiles and runs every benchmark exactly once so that
 # benchmark code can never rot uncompiled (it is part of ci). This
 # covers the algebra microbenchmarks, the cluster scatter-gather
-# benchmarks (BenchmarkClusterScatter_*, BenchmarkClusterShardedSemiJoin_*),
-# and the writable-cluster benchmarks (BenchmarkClusterRoutedUpdate_*,
-# BenchmarkClusterPrunedProbe_*; full sweep: xrpcbench -table
-# cluster-update, snapshot in BENCH_cluster.json) alongside the
-# paper-table benchmarks.
+# benchmarks — buffered (BenchmarkClusterScatter_*) and streamed
+# (BenchmarkClusterScatterStream_*, the shard-order merge writing the
+# merged envelope to a sink) — BenchmarkClusterShardedSemiJoin_*, the
+# writable-cluster benchmarks (BenchmarkClusterRoutedUpdate_*,
+# BenchmarkClusterPrunedProbe_*), the SOAP wire-path benchmarks incl.
+# the pull-decoder stream walk (BenchmarkSoapDecodeResponseStream,
+# BenchmarkSoapResponseStreamWalk), and the paper-table benchmarks.
+# Full sweep with peak-heap columns: xrpcbench -table cluster
+# -cluster-json BENCH_cluster.json.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -39,11 +43,23 @@ bench-smoke:
 bench-cluster:
 	$(GO) test -run XXX -bench 'BenchmarkCluster' -benchtime 3x .
 
-# fuzz-smoke gives the SOAP envelope pull-decoder a short coverage-guided
-# shake on every CI run (decode must never panic; decode∘encode must be
-# a fixpoint). Run `go test -fuzz=FuzzDecode ./internal/soap` for longer
+# fuzz-smoke gives the SOAP envelope decoders a short coverage-guided
+# shake on every CI run: the buffered DOM-free decoder (FuzzDecode) and
+# the incremental io.Reader decoder fed adversarially fragmented input
+# (FuzzDecodeStream). Both targets share one corpus directory; patterns
+# are anchored because `go test -fuzz` requires exactly one match.
+# Run `go test -fuzz 'FuzzDecodeStream$$' ./internal/soap` for longer
 # sessions.
 fuzz-smoke:
-	$(GO) test -run=NONE -fuzz FuzzDecode -fuzztime 10s ./internal/soap
+	$(GO) test -run=NONE -fuzz 'FuzzDecode$$' -fuzztime 5s -fuzzminimizetime 5s ./internal/soap
+	$(GO) test -run=NONE -fuzz 'FuzzDecodeStream$$' -fuzztime 5s -fuzzminimizetime 5s ./internal/soap
 
-ci: build vet race bench-smoke fuzz-smoke
+# memsmoke is the bounded-memory acceptance check of the streamed
+# scatter-gather: under a 64 MiB GOMEMLIMIT the coordinator must merge
+# a 256 MiB synthetic scan — 4x the memory cap — with its peak heap
+# flat relative to the result size (O(shards × window), not O(result)).
+memsmoke:
+	GOMEMLIMIT=64MiB XRPC_MEMSMOKE_BYTES=268435456 \
+		$(GO) test -run 'TestScatterStreamBoundedMemory' -v ./internal/cluster/
+
+ci: build vet race bench-smoke fuzz-smoke memsmoke

@@ -10,6 +10,7 @@
 package xrpc
 
 import (
+	"io"
 	"runtime"
 	"testing"
 	"time"
@@ -218,6 +219,41 @@ func runClusterScatter(b *testing.B, peers int) {
 
 func BenchmarkClusterScatter_P1(b *testing.B) { runClusterScatter(b, 1) }
 func BenchmarkClusterScatter_P4(b *testing.B) { runClusterScatter(b, 4) }
+
+// runClusterScatterStream benches the streamed wire path end to end:
+// each iteration scatters the Q_B3 probe bulk over n shard peers and
+// writes the merged response envelope to a discarded sink — shard
+// responses are pull-decoded and re-encoded in shard order without the
+// coordinator ever holding the merged result (the proxy serving path).
+func runClusterScatterStream(b *testing.B, peers int) {
+	b.Helper()
+	cfg := xmark.PaperConfig(0.1)
+	reg := modules.NewRegistry()
+	if err := reg.Register(strategies.FunctionsB, "http://example.org/b.xq"); err != nil {
+		b.Fatal(err)
+	}
+	net := netsim.NewNetwork(0, 0)
+	dep, err := cluster.Deploy(net, reg,
+		map[string]string{"auctions.xml": xmark.GenerateAuctions(cfg)},
+		cluster.DeployConfig{Shards: peers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := dep.Coordinator()
+	br := bench.ClusterProbeRequest(cfg)
+	if err := co.ScatterStream(br, io.Discard); err != nil { // warm the function caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := co.ScatterStream(br, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterScatterStream_P1(b *testing.B) { runClusterScatterStream(b, 1) }
+func BenchmarkClusterScatterStream_P4(b *testing.B) { runClusterScatterStream(b, 4) }
 
 func BenchmarkClusterShardedSemiJoin_P4(b *testing.B) {
 	env, err := strategies.NewShardedEnv(xmark.PaperConfig(0.1), 4, 1, netsim.NewNetwork(benchRTT, 0))

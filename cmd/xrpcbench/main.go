@@ -16,9 +16,11 @@
 // The -scale flag scales the XMark data (1.0 = the paper's 250 persons /
 // 4875 auctions); -rtt sets the simulated round-trip latency; -parallel
 // sets the worker pool sizes compared by the bulkexec experiment; -gzip
-// adds gzip content-coding sizes to the wire experiment; -wire-json /
-// -cluster-json write the wire / cluster-update rows as JSON snapshots
-// (BENCH_wire.json, BENCH_cluster.json).
+// adds gzip content-coding sizes to the wire experiment; -wire-json
+// writes the wire rows as a JSON snapshot (BENCH_wire.json);
+// -cluster-json writes the cluster experiments — the scatter-gather
+// sweep with its streamed-vs-buffered peak-heap columns and the
+// cluster-update rows — as one JSON snapshot (BENCH_cluster.json).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"xrpc/internal/bench"
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	table := flag.String("table", "all",
-		"which experiment: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, cluster-update, wire, all")
+		"which experiment(s), comma-separated: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, cluster-update, wire, all")
 	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
 	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
@@ -45,7 +48,7 @@ func main() {
 	rows := flag.Int("rows", 16384, "input rows for the algebra experiment")
 	useGzip := flag.Bool("gzip", false, "measure gzip content-coding sizes in the wire experiment")
 	wireJSON := flag.String("wire-json", "", "write the wire experiment rows to this file as JSON")
-	clusterJSON := flag.String("cluster-json", "", "write the cluster-update experiment rows to this file as JSON")
+	clusterJSON := flag.String("cluster-json", "", "write the cluster experiment rows (scatter sweep + cluster-update) to this file as JSON")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -57,43 +60,63 @@ func main() {
 		fmt.Println()
 	}
 
-	all := *table == "all"
-	if all || *table == "2" {
+	selected := map[string]bool{}
+	for _, t := range strings.Split(*table, ",") {
+		selected[strings.TrimSpace(t)] = true
+	}
+	all := selected["all"]
+	if all || selected["2"] {
 		run("Table 2", func() error { return runTable2(*rtt, *x) })
 	}
-	if all || *table == "throughput" {
+	if all || selected["throughput"] {
 		run("Throughput (§3.3)", runThroughput)
 	}
-	if all || *table == "3" {
+	if all || selected["3"] {
 		run("Table 3", func() error { return runTable3(*scale, *x) })
 	}
-	if all || *table == "4" {
+	if all || selected["4"] {
 		run("Table 4", func() error { return runTable4(*scale) })
 	}
-	if all || *table == "fig1" {
+	if all || selected["fig1"] {
 		run("Figure 1", runFigure1)
 	}
-	if all || *table == "bulkexec" {
+	if all || selected["bulkexec"] {
 		run("Bulk execution (sequential vs parallel)", func() error {
 			return runBulkExec(*calls, *parallel, *scale)
 		})
 	}
-	if all || *table == "algebra" {
+	if all || selected["algebra"] {
 		run("Algebra operators (columnar vs row-store)", func() error {
 			return runAlgebra(*rows)
 		})
 	}
-	if all || *table == "cluster" {
-		run("Cluster scatter-gather (1/2/4/8 shard peers)", func() error {
-			return runCluster(*scale, *rtt)
+	var scatterResults []bench.ClusterBenchResult
+	var updateRows []bench.ClusterUpdateRow
+	if all || selected["cluster"] {
+		run("Cluster scatter-gather (1/2/4/8 shard peers)", func() (err error) {
+			scatterResults, err = runCluster(*scale, *rtt)
+			return err
 		})
 	}
-	if all || *table == "cluster-update" {
-		run("Cluster writes & pruned probes (routed vs broadcast)", func() error {
-			return runClusterUpdate(*scale, *rtt, *clusterJSON)
+	if all || selected["cluster-update"] {
+		run("Cluster writes & pruned probes (routed vs broadcast)", func() (err error) {
+			updateRows, err = runClusterUpdate(*scale, *rtt)
+			return err
 		})
 	}
-	if all || *table == "wire" {
+	if *clusterJSON != "" && (scatterResults != nil || updateRows != nil) {
+		data, err := bench.ClusterSnapshotJSON(scatterResults, updateRows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*clusterJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *clusterJSON)
+	}
+	if all || selected["wire"] {
 		run("SOAP wire path (streaming vs reference)", func() error {
 			return runWire(*useGzip, *wireJSON)
 		})
@@ -106,27 +129,17 @@ func main() {
 // probes pruned by range metadata vs scattered to all shards. Every
 // mode's results are verified byte-identical to an unsharded
 // single-peer execution before timing.
-func runClusterUpdate(scale float64, rtt time.Duration, jsonPath string) error {
+func runClusterUpdate(scale float64, rtt time.Duration) ([]bench.ClusterUpdateRow, error) {
 	cfg := xmark.PaperConfig(scale)
 	fmt.Printf("XMark: %d persons; rtt %v, %d MB/s links\n",
 		cfg.Persons, rtt, bench.ClusterBandwidth/(1024*1024))
 	rows, err := bench.RunClusterUpdateBench(cfg, []int{2, 4, 8}, rtt, 3)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Print(bench.FormatClusterUpdateBench(rows))
 	fmt.Println("\nall modes verified byte-identical to the unsharded single-peer baseline before timing")
-	if jsonPath != "" {
-		data, err := bench.ClusterUpdateSnapshotJSON(rows)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
-	}
-	return nil
+	return rows, nil
 }
 
 // runWire contrasts the streaming wire path (pooled encoder + envelope
@@ -158,18 +171,20 @@ func runWire(gzipSizes bool, jsonPath string) error {
 // shard peers for the probe and scan workloads. At every peer count the
 // merged response is verified byte-identical to the unsharded
 // single-peer response before any timing happens; the per-shard byte
-// columns show the partitioner splitting traffic across the cluster.
-func runCluster(scale float64, rtt time.Duration) error {
+// columns show the partitioner splitting traffic across the cluster;
+// the peak-heap columns contrast the streamed shard-order merge with
+// the buffered collect-then-encode reference.
+func runCluster(scale float64, rtt time.Duration) ([]bench.ClusterBenchResult, error) {
 	cfg := xmark.PaperConfig(scale)
 	fmt.Printf("XMark: %d persons, %d closed auctions; rtt %v, %d MB/s links\n",
 		cfg.Persons, cfg.ClosedAuctions, rtt, bench.ClusterBandwidth/(1024*1024))
 	results, err := bench.RunClusterBench(cfg, []int{1, 2, 4, 8}, rtt, 3)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Print(bench.FormatClusterBench(results))
 	fmt.Println("\nmerged responses verified byte-identical to the unsharded single-peer response at every peer count")
-	return nil
+	return results, nil
 }
 
 // runAlgebra contrasts the columnar vectorized operators with the

@@ -13,6 +13,18 @@
 // range k is kept. A scatter-gather coordinator (internal/cluster)
 // pointed at all n peers then answers read-only bulk requests exactly
 // like one peer holding the unsharded documents.
+//
+// With -proxy, the daemon serves no documents itself: it runs a
+// streaming scatter-gather coordinator over the listed shard peers and
+// answers POST /xrpc like an ordinary peer holding the unsharded
+// documents — shard responses are merged in shard order and forwarded
+// to the client as they arrive, so the proxy's memory stays bounded by
+// -shard-buffer per shard regardless of result size:
+//
+//	xrpcd -addr :8080 -proxy xrpc://s0:8081,xrpc://s1:8082
+//
+// Each comma-separated entry is one shard, in shard order; replicas of
+// a shard are separated by '|' (first entry is the primary).
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"xrpc/internal/client"
 	"xrpc/internal/cluster"
@@ -41,10 +54,22 @@ func main() {
 	shard := flag.Int("shard", 0, "serve shard index [0,n) of each loaded document (with -of)")
 	of := flag.Int("of", 0, "total number of shards (0 = unsharded)")
 	rpcTimeout := flag.Duration("rpc-timeout", client.DefaultHTTPTimeout,
-		"timeout for outgoing XRPC-over-HTTP requests (0 = none)")
+		"per-phase deadline for outgoing XRPC-over-HTTP requests: connect, response headers, and each response read must complete within this long (0 = none); a slow but flowing response stream is never cut off")
 	useGzip := flag.Bool("gzip", false,
 		"negotiate gzip content-coding: compress outgoing requests and gzip responses for clients that accept it")
+	proxyPeers := flag.String("proxy", "",
+		"serve as a streaming scatter-gather proxy over these shard peers instead of a local peer: comma-separated xrpc:// URIs in shard order, '|'-separated replicas within a shard")
+	shardBuffer := flag.Int("shard-buffer", 0,
+		"proxy mode: per-shard read-ahead window in bytes of the streamed gather (0 = 1 MiB)")
 	flag.Parse()
+
+	if *proxyPeers != "" {
+		if *docsDir != "" || *modsDir != "" || *of != 0 || *shard != 0 {
+			log.Fatal("-proxy is exclusive with -docs/-modules/-shard/-of: the proxy serves the shard peers' documents, not its own")
+		}
+		runProxy(*addr, *proxyPeers, *rpcTimeout, *useGzip, *shardBuffer)
+		return
+	}
 
 	if *of == 0 && *shard != 0 {
 		log.Fatalf("-shard %d without -of: the total shard count is required", *shard)
@@ -104,6 +129,48 @@ func main() {
 	} else {
 		log.Printf("XRPC peer %s listening on %s (POST /xrpc)", *self, ln.Addr())
 	}
+	log.Fatal(http.Serve(ln, mux))
+}
+
+// runProxy serves a streaming scatter-gather coordinator over the
+// given shard peers: POST /xrpc scatters a bulk request to every shard
+// and streams the shard-order merge back to the client, chunk by
+// chunk, holding at most window bytes per shard.
+func runProxy(addr, peers string, rpcTimeout time.Duration, useGzip bool, shardBuffer int) {
+	shards := strings.Split(peers, ",")
+	rt, err := cluster.NewRoutingTable(len(shards))
+	if err != nil {
+		log.Fatalf("-proxy: %v", err)
+	}
+	for i, entry := range shards {
+		for _, uri := range strings.Split(entry, "|") {
+			uri = strings.TrimSpace(uri)
+			if uri == "" {
+				log.Fatalf("-proxy: shard %d: empty peer URI", i)
+			}
+			if err := rt.Add(i, uri); err != nil {
+				log.Fatalf("-proxy: shard %d: %v", i, err)
+			}
+		}
+	}
+	transport := client.NewHTTPTransportTimeout(rpcTimeout)
+	transport.Gzip = useGzip
+	co := cluster.NewCoordinator(rt, client.New(transport))
+	co.MaxShardBuffer = shardBuffer
+
+	mux := http.NewServeMux()
+	mux.Handle("/xrpc", &cluster.Proxy{Co: co})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "XRPC scatter-gather proxy over %d shard(s)\n", rt.NumShards())
+		for i := 0; i < rt.NumShards(); i++ {
+			fmt.Fprintf(w, "shard %d: %s\n", i, strings.Join(rt.Replicas(i), " "))
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", addr, err)
+	}
+	log.Printf("XRPC proxy over %d shard(s) listening on %s (POST /xrpc)", rt.NumShards(), ln.Addr())
 	log.Fatal(http.Serve(ln, mux))
 }
 

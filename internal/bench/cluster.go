@@ -2,7 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -42,6 +44,16 @@ type ClusterRow struct {
 	// split across shard peers, in shard order.
 	BytesTotal int64
 	PerShard   []int64
+	// PeakHeapStreamed and PeakHeapBuffered are HeapAlloc high-water
+	// marks (bytes) around one untimed gather: the streamed
+	// shard-order merge writing the envelope straight to a sink, vs
+	// the buffered collect-then-encode reference. The simulated shard
+	// peers live in the same process, so the absolute numbers include
+	// their documents; the comparison is the delta — the buffered
+	// column grows with total response size, the streamed one does
+	// not (the isolation test is TestScatterStreamBoundedMemory).
+	PeakHeapStreamed uint64
+	PeakHeapBuffered uint64
 }
 
 // ClusterBenchResult is the full sweep for one workload.
@@ -219,6 +231,27 @@ func runClusterRow(reg *modules.Registry, auctions string, br *client.BulkReques
 		row.Throughput = float64(len(br.Calls)) / best.Seconds()
 		row.ThroughputUnit = "calls/s"
 	}
+
+	// peak-heap comparison, untimed: the streamed merge writes the
+	// merged envelope straight into a sink, the buffered reference
+	// collects every shard response and encodes the concatenation —
+	// what the coordinator held in memory before the streaming gather
+	var memErr error
+	row.PeakHeapStreamed = heapHighWater(func() {
+		memErr = co.ScatterStream(br, io.Discard)
+	})
+	if memErr != nil {
+		return nil, memErr
+	}
+	row.PeakHeapBuffered = heapHighWater(func() {
+		var res []xdm.Sequence
+		if res, memErr = co.ScatterBuffered(br); memErr == nil {
+			encodeClusterResults(br, res)
+		}
+	})
+	if memErr != nil {
+		return nil, memErr
+	}
 	return row, nil
 }
 
@@ -229,22 +262,71 @@ func encodeClusterResults(br *client.BulkRequest, res []xdm.Sequence) []byte {
 }
 
 // FormatClusterBench renders the sweep, with the per-shard byte split
-// that shows the partitioner at work.
+// that shows the partitioner at work and the streamed-vs-buffered peak
+// heap comparison that shows the bounded gather at work.
 func FormatClusterBench(results []ClusterBenchResult) string {
 	var b strings.Builder
 	for _, res := range results {
 		fmt.Fprintf(&b, "%s\n", res.Workload)
-		fmt.Fprintf(&b, "  %-6s %10s %12s %12s  %s\n",
-			"peers", "msec", "throughput", "bytes", "response bytes per shard")
+		fmt.Fprintf(&b, "  %-6s %10s %12s %12s %18s  %s\n",
+			"peers", "msec", "throughput", "bytes", "peak heap s/b MiB", "response bytes per shard")
 		for _, r := range res.Rows {
 			shards := make([]string, len(r.PerShard))
 			for i, s := range r.PerShard {
 				shards[i] = fmt.Sprint(s)
 			}
-			fmt.Fprintf(&b, "  %-6d %10.2f %7.1f %s %12d  [%s]\n",
+			fmt.Fprintf(&b, "  %-6d %10.2f %7.1f %s %12d %8.1f/%-8.1f  [%s]\n",
 				r.Peers, ms(r.Elapsed), r.Throughput, r.ThroughputUnit,
-				r.BytesTotal, strings.Join(shards, " "))
+				r.BytesTotal,
+				float64(r.PeakHeapStreamed)/(1<<20), float64(r.PeakHeapBuffered)/(1<<20),
+				strings.Join(shards, " "))
 		}
 	}
 	return b.String()
+}
+
+// clusterScatterJSONRow is the snapshot shape of one scatter-sweep row.
+type clusterScatterJSONRow struct {
+	Workload         string  `json:"workload"`
+	Peers            int     `json:"peers"`
+	Millis           float64 `json:"ms"`
+	Throughput       float64 `json:"throughput"`
+	ThroughputUnit   string  `json:"throughput_unit"`
+	BytesTotal       int64   `json:"bytes_total"`
+	PerShard         []int64 `json:"per_shard"`
+	PeakHeapStreamed uint64  `json:"peak_heap_streamed"`
+	PeakHeapBuffered uint64  `json:"peak_heap_buffered"`
+	Verified         bool    `json:"verified"`
+}
+
+// ClusterSnapshotJSON renders the committed BENCH_cluster.json: the
+// scatter-gather sweep (including the streamed-vs-buffered peak-heap
+// columns) and the routed/broadcast update rows, side by side.
+func ClusterSnapshotJSON(scatter []ClusterBenchResult, update []ClusterUpdateRow) ([]byte, error) {
+	var rows []clusterScatterJSONRow
+	for _, res := range scatter {
+		for _, r := range res.Rows {
+			rows = append(rows, clusterScatterJSONRow{
+				Workload:         r.Workload,
+				Peers:            r.Peers,
+				Millis:           ms(r.Elapsed),
+				Throughput:       r.Throughput,
+				ThroughputUnit:   r.ThroughputUnit,
+				BytesTotal:       r.BytesTotal,
+				PerShard:         r.PerShard,
+				PeakHeapStreamed: r.PeakHeapStreamed,
+				PeakHeapBuffered: r.PeakHeapBuffered,
+				Verified:         r.Verified,
+			})
+		}
+	}
+	return json.MarshalIndent(struct {
+		Experiment string                  `json:"experiment"`
+		Scatter    []clusterScatterJSONRow `json:"scatter"`
+		Update     []ClusterUpdateRow      `json:"update"`
+	}{
+		Experiment: "cluster: streamed scatter-gather sweep + routed vs broadcast writes",
+		Scatter:    rows,
+		Update:     update,
+	}, "", "  ")
 }

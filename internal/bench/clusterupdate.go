@@ -2,7 +2,6 @@ package bench
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -338,13 +337,4 @@ func FormatClusterUpdateBench(rows []ClusterUpdateRow) string {
 			r.Mode, r.Peers, r.Millis, r.Requests, r.ServedCalls)
 	}
 	return b.String()
-}
-
-// ClusterUpdateSnapshotJSON renders the rows as the committed
-// BENCH_cluster.json snapshot.
-func ClusterUpdateSnapshotJSON(rows []ClusterUpdateRow) ([]byte, error) {
-	return json.MarshalIndent(struct {
-		Experiment string             `json:"experiment"`
-		Rows       []ClusterUpdateRow `json:"rows"`
-	}{Experiment: "cluster-update: routed vs broadcast writes, pruned vs full scatter probes", Rows: rows}, "", "  ")
 }

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// heapHighWater runs f and returns the HeapAlloc high-water mark (in
+// bytes) observed while it ran, sampled on a 1ms ticker plus one sample
+// on each side. A GC before the run resets the baseline so consecutive
+// measurements do not inherit each other's garbage. The sampler's
+// resolution is coarse — it is meant to distinguish O(result) from
+// O(window) footprints, not to profile allocations.
+func heapHighWater(f func()) uint64 {
+	runtime.GC()
+	var peak atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			cur := peak.Load()
+			if ms.HeapAlloc <= cur || peak.CompareAndSwap(cur, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	sample()
+	f()
+	sample()
+	close(stop)
+	<-done
+	return peak.Load()
+}

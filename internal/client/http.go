@@ -3,17 +3,24 @@ package client
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"xrpc/internal/soap"
 )
 
-// DefaultHTTPTimeout bounds one XRPC request/response exchange.
+// DefaultHTTPTimeout bounds the phases of one XRPC exchange: connection
+// establishment, waiting for response headers, and each read of the
+// response body. It is deliberately NOT a whole-request deadline — a
+// streamed bulk response is allowed to take arbitrarily long end to end
+// as long as bytes keep flowing.
 const DefaultHTTPTimeout = 30 * time.Second
 
 // HTTPTransport sends XRPC messages over real HTTP (SOAP over HTTP
@@ -23,8 +30,17 @@ const DefaultHTTPTimeout = 30 * time.Second
 type HTTPTransport struct {
 	// Client is the underlying HTTP client. NewHTTPTransport installs a
 	// tuned, shared http.Transport; a nil Client falls back to one
-	// lazily via the package-level default.
+	// lazily via the package-level default. The client must not set
+	// http.Client.Timeout: that deadline covers the whole exchange
+	// including body streaming, which would cut long streamed responses
+	// off mid-flight. Connect and header deadlines belong on the
+	// http.Transport; body progress is bounded by IdleTimeout.
 	Client *http.Client
+	// IdleTimeout bounds each individual Read of the response body: the
+	// request is aborted if the peer stalls for longer than this between
+	// bytes. Zero means reads are unbounded (for a zero-value transport
+	// with no Client, DefaultHTTPTimeout applies).
+	IdleTimeout time.Duration
 	// Gzip enables gzip content-coding (off by default): request bodies
 	// are compressed with Content-Encoding: gzip, and Accept-Encoding:
 	// gzip advertises that the response may be compressed too. The
@@ -37,17 +53,22 @@ type HTTPTransport struct {
 // sharedTransport is the fallback connection pool for transports built
 // without NewHTTPTransport, so even zero-value HTTPTransports reuse
 // connections instead of building a client per call path.
-var sharedTransport = newPooledTransport()
+var sharedTransport = newPooledTransport(DefaultHTTPTimeout)
 
 // newPooledTransport returns an http.Transport tuned for scatter-gather
 // fan-out: keep-alives on, and enough idle connections per host that a
 // coordinator repeatedly hitting the same N shard peers never
-// re-handshakes in steady state.
-func newPooledTransport() *http.Transport {
+// re-handshakes in steady state. The timeout bounds connection
+// establishment and the wait for response headers (0 = unbounded);
+// response-body reads are bounded separately, per read, by
+// HTTPTransport.IdleTimeout.
+func newPooledTransport(timeout time.Duration) *http.Transport {
 	return &http.Transport{
-		MaxIdleConns:        256,
-		MaxIdleConnsPerHost: 64,
-		IdleConnTimeout:     90 * time.Second,
+		DialContext:           (&net.Dialer{Timeout: timeout}).DialContext,
+		ResponseHeaderTimeout: timeout,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
 	}
 }
 
@@ -56,14 +77,17 @@ func NewHTTPTransport() *HTTPTransport {
 	return NewHTTPTransportTimeout(DefaultHTTPTimeout)
 }
 
-// NewHTTPTransportTimeout creates a transport whose requests time out
-// after the given duration (0 = no timeout). Each transport owns one
-// pooled http.Transport, reused across all sends.
+// NewHTTPTransportTimeout creates a transport whose per-phase deadlines
+// — connect, response headers, and each response-body read — are the
+// given duration (0 = no deadlines). Unlike a whole-request timeout,
+// this never aborts a response that is still making progress, however
+// large; it aborts one that has stalled. Each transport owns one pooled
+// http.Transport, reused across all sends.
 func NewHTTPTransportTimeout(timeout time.Duration) *HTTPTransport {
-	return &HTTPTransport{Client: &http.Client{
-		Timeout:   timeout,
-		Transport: newPooledTransport(),
-	}}
+	return &HTTPTransport{
+		Client:      &http.Client{Transport: newPooledTransport(timeout)},
+		IdleTimeout: timeout,
+	}
 }
 
 // HTTPError reports a non-2xx HTTP response. It is a transport-level
@@ -123,10 +147,29 @@ func Retriable(err error) bool {
 // HTTPError.
 const errBodyLimit = 512
 
-// Send implements netsim.Transport over HTTP. Non-2xx responses are
-// errors carrying the status and a truncated body — never a success
-// payload.
+// Send implements netsim.Transport over HTTP: SendStream drained into
+// one buffer. Non-2xx responses are errors carrying the status and a
+// truncated body — never a success payload.
 func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
+	rc, err := t.SendStream(dest, path, body)
+	if err != nil {
+		return nil, err
+	}
+	out, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, fmt.Errorf("xrpc http: reading response: %w", err)
+	}
+	return out, nil
+}
+
+// SendStream implements netsim.StreamTransport over HTTP: the response
+// body is returned as a stream, decompressed if the peer answered with
+// gzip. The caller must Close the reader; reading it to EOF first lets
+// the keep-alive connection return to the pool. Each read is bounded by
+// IdleTimeout — a stalled peer aborts the request, a slow-but-flowing
+// response does not.
+func (t *HTTPTransport) SendStream(dest, path string, body []byte) (io.ReadCloser, error) {
 	url := dest
 	if strings.HasPrefix(url, "xrpc://") {
 		url = "http://" + strings.TrimPrefix(url, "xrpc://")
@@ -136,8 +179,12 @@ func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 	}
 	url = strings.TrimRight(url, "/") + path
 	cl := t.Client
+	idle := t.IdleTimeout
 	if cl == nil {
-		cl = &http.Client{Timeout: DefaultHTTPTimeout, Transport: sharedTransport}
+		cl = &http.Client{Transport: sharedTransport}
+		if idle == 0 {
+			idle = DefaultHTTPTimeout
+		}
 	}
 	sendBody := body
 	if t.Gzip {
@@ -149,8 +196,12 @@ func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 		}
 		sendBody = zbuf.Bytes()
 	}
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(sendBody))
+	// The context exists so the idle watchdog can abort a stalled
+	// transfer mid-body; it is released when the stream is closed.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(sendBody))
 	if err != nil {
+		cancel()
 		return nil, fmt.Errorf("xrpc http: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/soap+xml; charset=utf-8")
@@ -163,16 +214,17 @@ func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 	}
 	resp, err := cl.Do(req)
 	if err != nil {
+		cancel()
 		return nil, fmt.Errorf("xrpc http: %w", err)
 	}
-	defer resp.Body.Close()
-	respBody := resp.Body
+	respBody := io.ReadCloser(resp.Body)
 	if resp.Header.Get("Content-Encoding") == "gzip" {
 		gz, err := gzip.NewReader(resp.Body)
 		if err != nil {
+			resp.Body.Close()
+			cancel()
 			return nil, fmt.Errorf("xrpc http: gzip response: %w", err)
 		}
-		defer gz.Close()
 		respBody = gz
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
@@ -180,15 +232,56 @@ func (t *HTTPTransport) Send(dest, path string, body []byte) ([]byte, error) {
 		// drain the remainder so the keep-alive connection returns to
 		// the pool instead of being torn down
 		io.Copy(io.Discard, resp.Body)
+		if respBody != resp.Body {
+			respBody.Close()
+		}
+		resp.Body.Close()
+		cancel()
 		return nil, &HTTPError{
 			StatusCode: resp.StatusCode,
 			Status:     resp.Status,
 			Body:       strings.TrimSpace(string(trunc)),
 		}
 	}
-	out, err := io.ReadAll(respBody)
-	if err != nil {
-		return nil, fmt.Errorf("xrpc http: reading response: %w", err)
+	return &streamBody{body: respBody, raw: resp.Body, cancel: cancel, idle: idle}, nil
+}
+
+// streamBody is an HTTP response body with a per-read idle watchdog:
+// the timer is armed only while a Read is in flight, so time the
+// consumer spends processing between reads does not count against the
+// deadline.
+type streamBody struct {
+	body     io.ReadCloser // decoded stream (gzip reader or raw body)
+	raw      io.ReadCloser // the underlying resp.Body
+	cancel   context.CancelFunc
+	idle     time.Duration
+	timedOut atomic.Bool
+}
+
+func (b *streamBody) Read(p []byte) (int, error) {
+	if b.idle > 0 {
+		timer := time.AfterFunc(b.idle, func() {
+			b.timedOut.Store(true)
+			b.cancel()
+		})
+		defer timer.Stop()
 	}
-	return out, nil
+	n, err := b.body.Read(p)
+	if err != nil && err != io.EOF && b.timedOut.Load() {
+		err = fmt.Errorf("xrpc http: response stalled longer than %v: %w", b.idle, err)
+	}
+	return n, err
+}
+
+// Close releases the stream. The body is closed before the context is
+// canceled: after a full read to EOF the transport has already handed
+// the connection back to the pool, and canceling first would tear it
+// down instead.
+func (b *streamBody) Close() error {
+	err := b.body.Close()
+	if b.raw != b.body {
+		b.raw.Close()
+	}
+	b.cancel()
+	return err
 }

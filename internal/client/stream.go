@@ -1,0 +1,229 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"xrpc/internal/netsim"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+)
+
+// stream.go is the streaming counterpart of SendEncoded: instead of
+// buffering the whole response envelope and shredding it in one go,
+// SendStreamed hands back a pull-style view over the response as its
+// bytes arrive, so a consumer (the scatter-gather merge, a result
+// forwarder) holds one item at a time rather than one response at a
+// time. SendEncoded remains the buffered reference path.
+
+// StreamedResponse is an in-flight bulk response: result sequences and
+// their items are decoded on demand as the peer produces them. The
+// consumer must either walk it to Finish (which validates the result
+// count against the call count, folds in piggybacked peers, and frees
+// the connection) or Close it to abandon the rest.
+type StreamedResponse struct {
+	rs    *soap.ResponseStream
+	body  io.ReadCloser
+	c     *Client
+	dest  string
+	calls int
+	seqs  int
+
+	closed bool
+}
+
+// SendStreamed posts a pre-encoded request body to dest and returns the
+// response as a stream. Transports that implement netsim.StreamTransport
+// deliver bytes incrementally; for others the buffered response is
+// wrapped, so callers can stream unconditionally. window > 0 adds a
+// prefetch buffer of about that many bytes between the socket and the
+// decoder: a background reader keeps pulling while the consumer is busy
+// downstream, overlapping transfer with processing while keeping memory
+// bounded by the window. Safe to call concurrently with the same body:
+// the bytes are only read.
+func (c *Client) SendStreamed(dest string, body []byte, calls, window int) (*StreamedResponse, error) {
+	c.Requests.Add(1)
+	c.Sent.Add(int64(len(body)))
+	var rc io.ReadCloser
+	if st, ok := c.Transport.(netsim.StreamTransport); ok {
+		r, err := st.SendStream(dest, XRPCPath, body)
+		if err != nil {
+			return nil, fmt.Errorf("xrpc: send to %s: %w", dest, err)
+		}
+		rc = &countingBody{rc: r, n: &c.Received}
+	} else {
+		respBody, err := c.Transport.Send(dest, XRPCPath, body)
+		c.Received.Add(int64(len(respBody)))
+		if err != nil {
+			return nil, fmt.Errorf("xrpc: send to %s: %w", dest, err)
+		}
+		rc = io.NopCloser(bytes.NewReader(respBody))
+	}
+	if window > 0 {
+		rc = newPrefetchReader(rc, window)
+	}
+	rs, err := soap.NewResponseStream(rc)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	return &StreamedResponse{rs: rs, body: rc, c: c, dest: dest, calls: calls}, nil
+}
+
+// Module returns the xrpc:module attribute of the response.
+func (sr *StreamedResponse) Module() string { return sr.rs.Module() }
+
+// Method returns the xrpc:method attribute of the response.
+func (sr *StreamedResponse) Method() string { return sr.rs.Method() }
+
+// NextSequence advances to the next result sequence, discarding unread
+// items of the current one. False means the response holds no further
+// sequences.
+func (sr *StreamedResponse) NextSequence() (bool, error) {
+	ok, err := sr.rs.NextSequence()
+	if ok {
+		sr.seqs++
+	}
+	return ok, err
+}
+
+// NextItem returns the next item of the current sequence, or (nil, nil)
+// at its end.
+func (sr *StreamedResponse) NextItem() (xdm.Item, error) {
+	return sr.rs.NextItem()
+}
+
+// Finish drains the rest of the response, verifies one result sequence
+// arrived per call, records piggybacked participating peers, and
+// releases the connection. It returns the peers.
+func (sr *StreamedResponse) Finish() ([]string, error) {
+	for {
+		ok, err := sr.NextSequence()
+		if err != nil {
+			sr.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	peers, err := sr.rs.Finish()
+	if err != nil {
+		sr.Close()
+		return nil, err
+	}
+	if sr.seqs != sr.calls {
+		sr.Close()
+		return nil, fmt.Errorf("xrpc: %d results for %d calls", sr.seqs, sr.calls)
+	}
+	sr.c.notePeers(sr.dest, peers)
+	sr.Close()
+	return peers, nil
+}
+
+// Close abandons the stream without validating the remainder. Safe to
+// call more than once and after Finish.
+func (sr *StreamedResponse) Close() error {
+	if sr.closed {
+		return nil
+	}
+	sr.closed = true
+	return sr.body.Close()
+}
+
+// countingBody adds every byte read to a client stat counter.
+type countingBody struct {
+	rc io.ReadCloser
+	n  *atomic.Int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if n > 0 {
+		b.n.Add(int64(n))
+	}
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.rc.Close() }
+
+// prefetchChunk is the read granularity of the prefetch buffer.
+const prefetchChunk = 32 << 10
+
+// prefetchReader decouples the producer (socket) from the consumer
+// (decoder) with a bounded channel of chunks: the background goroutine
+// reads ahead up to the window while the consumer processes items, and
+// blocks once the window is full — bounded memory, no unbounded
+// buffering of a fast producer.
+type prefetchReader struct {
+	ch     chan []byte
+	err    error // set before ch is closed; read only after ch closes
+	done   chan struct{}
+	once   sync.Once
+	closed bool
+	cur    []byte
+}
+
+func newPrefetchReader(rc io.ReadCloser, window int) *prefetchReader {
+	depth := window / prefetchChunk
+	if depth < 1 {
+		depth = 1
+	}
+	pr := &prefetchReader{
+		ch:   make(chan []byte, depth),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer rc.Close()
+		for {
+			buf := make([]byte, prefetchChunk)
+			n, err := rc.Read(buf)
+			if n > 0 {
+				select {
+				case pr.ch <- buf[:n]:
+				case <-pr.done:
+					return
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					pr.err = err
+				}
+				close(pr.ch)
+				return
+			}
+		}
+	}()
+	return pr
+}
+
+func (pr *prefetchReader) Read(p []byte) (int, error) {
+	if pr.closed {
+		return 0, fmt.Errorf("xrpc: read from closed response stream")
+	}
+	for len(pr.cur) == 0 {
+		chunk, ok := <-pr.ch
+		if !ok {
+			if pr.err != nil {
+				return 0, pr.err
+			}
+			return 0, io.EOF
+		}
+		pr.cur = chunk
+	}
+	n := copy(p, pr.cur)
+	pr.cur = pr.cur[n:]
+	return n, nil
+}
+
+// Close stops the background reader, which closes the underlying
+// stream on its way out. A reader mid-Read drains its chunk into the
+// void (the done channel) before exiting.
+func (pr *prefetchReader) Close() error {
+	pr.closed = true
+	pr.once.Do(func() { close(pr.done) })
+	return nil
+}

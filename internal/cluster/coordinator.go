@@ -80,6 +80,13 @@ type Coordinator struct {
 	// TxnTimeout is the isolation timeout (seconds) of the queryIDs
 	// minted for routed updates (0 = 30).
 	TxnTimeout int
+	// MaxShardBuffer bounds the per-shard read-ahead window of the
+	// streamed gather, in bytes (0 = DefaultMaxShardBuffer). While the
+	// merge copies shard k's results forward, shards k+1..N keep
+	// producing into windows of at most this size; coordinator memory
+	// during a scatter is therefore O(shards × MaxShardBuffer + largest
+	// item), independent of total result size.
+	MaxShardBuffer int
 	// OnEvict, when set, observes replica evictions (shard, uri, cause).
 	OnEvict func(shard int, uri string, reason error)
 
@@ -167,10 +174,13 @@ func (co *Coordinator) CallParallel(parts []*client.BulkByDest, total int) ([]xd
 	return client.DispatchParallel(co.CallBulk, parts, total)
 }
 
-// Scatter sends the read-only bulk request to the shards and merges the
-// responses in shard order. When a RouteSpec matches and the table has
-// keyed ranges for its container, calls are pruned to the shards whose
-// ranges may contain their keys; otherwise every call broadcasts.
+// ScatterBuffered is the collect-then-concat reference implementation
+// of the broadcast scatter: every shard's full response is decoded into
+// memory, then merged. Scatter produces byte-identical results through
+// the incremental merge (see gather.go) while holding only a bounded
+// window per shard; this path is kept as the executable reference the
+// streamed merge is pinned against, and for the peak-memory comparison
+// in the cluster benchmarks.
 //
 // The broadcast path is encode-once, scatter-many: the request body is
 // destination-independent, so it is encoded exactly once (into a pooled
@@ -178,7 +188,7 @@ func (co *Coordinator) CallParallel(parts []*client.BulkByDest, total int) ([]xd
 // across replica failover attempts. The pruned path ships per-shard
 // call subsets, so it encodes once per contacted shard instead — it
 // trades encodings for not sending (or executing) pruned calls at all.
-func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
+func (co *Coordinator) ScatterBuffered(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if br.Updating {
 		return nil, xdm.NewError("XRPC0007",
 			"cluster: updating bulk requests are routed, not scattered (use Update/CallBulk)")

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"xrpc/internal/client"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+)
+
+// gather.go is the incremental half of scatter-gather: instead of
+// collecting every shard's fully-decoded response and concatenating
+// (ScatterBuffered), the merge walks the open response streams in shard
+// order, one result sequence at a time — shard k's items for call i are
+// forwarded while shards k+1..N are still producing theirs into bounded
+// read-ahead windows. The merged output is byte-identical to the
+// buffered path (the merge order is exactly the concatenation order);
+// what changes is the coordinator's footprint, which drops from
+// O(total result bytes) to O(shards × MaxShardBuffer + largest item).
+
+// DefaultMaxShardBuffer is the default per-shard read-ahead window of
+// the streamed gather (see Coordinator.MaxShardBuffer).
+const DefaultMaxShardBuffer = 1 << 20
+
+// shardStream is one shard's open response during a gather.
+type shardStream struct {
+	shard int
+	sr    *client.StreamedResponse
+	err   error
+}
+
+func (co *Coordinator) shardWindow() int {
+	if co.MaxShardBuffer > 0 {
+		return co.MaxShardBuffer
+	}
+	return DefaultMaxShardBuffer
+}
+
+// openShard opens the response stream at the shard's primary, walking
+// the replica list on retriable failures — the same pre-encoded bytes
+// for every attempt, never re-encoding. Failover happens only at open:
+// once a response stream is being merged, its bytes are already part of
+// the output and a mid-stream failure aborts the gather.
+func (co *Coordinator) openShard(shard int, body []byte, calls int) (*client.StreamedResponse, error) {
+	replicas := co.Table.Replicas(shard)
+	var lastErr error
+	for _, uri := range replicas {
+		sr, err := co.Client.SendStreamed(uri, body, calls, co.shardWindow())
+		if err == nil {
+			return sr, nil
+		}
+		if !client.Retriable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("all %d replica(s) unreachable: %w", len(replicas), lastErr)
+}
+
+// openShardStreams opens all shard streams concurrently and waits for
+// the opens (header only — the responses themselves stream afterwards).
+// Waiting here keeps error selection deterministic: when several shards
+// fail to open, the lowest shard index is reported, matching the
+// buffered path. On any failure every opened stream is closed.
+func (co *Coordinator) openShardStreams(body []byte, calls int) ([]*shardStream, error) {
+	n := co.Table.NumShards()
+	conns := make([]*shardStream, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		conns[s] = &shardStream{shard: s}
+		wg.Add(1)
+		go func(c *shardStream) {
+			defer wg.Done()
+			c.sr, c.err = co.openShard(c.shard, body, calls)
+		}(conns[s])
+	}
+	wg.Wait()
+	for _, c := range conns {
+		if c.err != nil {
+			closeShardStreams(conns)
+			return nil, fmt.Errorf("cluster: shard %d: %w", c.shard, c.err)
+		}
+	}
+	return conns, nil
+}
+
+func closeShardStreams(conns []*shardStream) {
+	for _, c := range conns {
+		if c.sr != nil {
+			c.sr.Close()
+		}
+	}
+}
+
+// gatherStreams drives the shard-order merge: for every call it opens a
+// merged sequence, copies each shard's sequence for that call through
+// the item callback in ascending shard order, and closes it — then
+// Finishes every stream, which validates result counts and trailing
+// envelope content. Callbacks receive the merge incrementally, so the
+// caller chooses whether items accumulate (Scatter) or leave the
+// process immediately (ScatterStream).
+func gatherStreams(conns []*shardStream, calls int,
+	begin func() error, item func(xdm.Item) error, end func() error) error {
+
+	for i := 0; i < calls; i++ {
+		if err := begin(); err != nil {
+			return err
+		}
+		for _, c := range conns {
+			ok, err := c.sr.NextSequence()
+			if err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", c.shard, err)
+			}
+			if !ok {
+				return fmt.Errorf("cluster: shard %d: %d results for %d calls", c.shard, i, calls)
+			}
+			for {
+				it, err := c.sr.NextItem()
+				if err != nil {
+					return fmt.Errorf("cluster: shard %d: %w", c.shard, err)
+				}
+				if it == nil {
+					break
+				}
+				if err := item(it); err != nil {
+					return err
+				}
+			}
+		}
+		if err := end(); err != nil {
+			return err
+		}
+	}
+	for _, c := range conns {
+		if _, err := c.sr.Finish(); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", c.shard, err)
+		}
+	}
+	return nil
+}
+
+// Scatter sends the read-only bulk request to the shards and merges the
+// responses in shard order, incrementally: result i of the merged
+// response is the concatenation, in shard order, of every shard's
+// result i, assembled one sequence at a time while later shards are
+// still producing. Identical results to ScatterBuffered (the executable
+// reference), with coordinator memory bounded per shard instead of per
+// response. When a RouteSpec matches and the table has keyed ranges for
+// its container, calls are pruned to the shards whose ranges may
+// contain their keys; otherwise every call broadcasts.
+func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
+	if br.Updating {
+		return nil, xdm.NewError("XRPC0007",
+			"cluster: updating bulk requests are routed, not scattered (use Update/CallBulk)")
+	}
+	if err := co.validTable(); err != nil {
+		return nil, err
+	}
+	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
+		return co.scatterPruned(br, spec)
+	}
+	enc := co.Client.EncodeBulk(br)
+	defer enc.Release()
+	conns, err := co.openShardStreams(enc.Bytes(), len(br.Calls))
+	if err != nil {
+		return nil, err
+	}
+	defer closeShardStreams(conns)
+	merged := make([]xdm.Sequence, 0, len(br.Calls))
+	var cur xdm.Sequence
+	err = gatherStreams(conns, len(br.Calls),
+		func() error { cur = nil; return nil },
+		func(it xdm.Item) error { cur = append(cur, it); return nil },
+		func() error { merged = append(merged, cur); return nil })
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// ScatterStream runs the scatter with the merged response envelope
+// written to w in chunks as it is assembled: decoded items from shard k
+// are re-encoded into the output and gone before shard k+1's arrive, so
+// the full merged result never exists in coordinator memory at all —
+// the pipeline is socket → pull-decoder → merge → chunked writer end to
+// end. The envelope is byte-identical to encoding Scatter's result.
+// A pruned scatter (per-shard call subsets) falls back to the buffered
+// merge before encoding: pruning already bounds what each shard
+// returns, and its per-call shard subsets do not interleave with a
+// single forward walk.
+func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error {
+	if br.Updating {
+		return xdm.NewError("XRPC0007",
+			"cluster: updating bulk requests are routed, not scattered (use Update/CallBulk)")
+	}
+	if err := co.validTable(); err != nil {
+		return err
+	}
+	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
+		results, err := co.scatterPruned(br, spec)
+		if err != nil {
+			return err
+		}
+		return soap.EncodeResponseTo(w, &soap.Response{
+			Module: br.ModuleURI, Method: br.Func, Results: results,
+		})
+	}
+	enc := co.Client.EncodeBulk(br)
+	defer enc.Release()
+	conns, err := co.openShardStreams(enc.Bytes(), len(br.Calls))
+	if err != nil {
+		return err
+	}
+	defer closeShardStreams(conns)
+	out := soap.NewStreamEncoder(w, 0)
+	defer out.Release()
+	out.BeginResponse(br.ModuleURI, br.Func)
+	err = gatherStreams(conns, len(br.Calls),
+		func() error { out.BeginSequence(); return out.Err() },
+		func(it xdm.Item) error { out.EncodeItem(it); return out.Err() },
+		func() error { out.EndSequence(); return out.Err() })
+	if err != nil {
+		return err
+	}
+	out.EndResponse(nil)
+	return out.Flush()
+}

@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xrpc/internal/client"
+	"xrpc/internal/netsim"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+	"xrpc/internal/xmark"
+)
+
+// TestScatterMatchesScatterBuffered pins the tentpole refactor: the
+// incremental shard-order merge must produce byte-identical merged
+// responses to the collect-then-concat reference, on the fixture
+// requests and on randomized bulks (random key subsets, hit and miss,
+// varying call counts).
+func TestScatterMatchesScatterBuffered(t *testing.T) {
+	cfg := xmark.PaperConfig(0.05)
+	auctions := xmark.GenerateAuctions(cfg)
+	reg := testRegistry(t)
+
+	rng := rand.New(rand.NewSource(7))
+	requests := []*client.BulkRequest{probeRequest(cfg.Persons), scanRequest()}
+	for i := 0; i < 12; i++ {
+		br := &client.BulkRequest{
+			ModuleURI: "functions_b",
+			AtHint:    "http://example.org/b.xq",
+			Func:      "Q_B3",
+			Arity:     1,
+		}
+		for c := 0; c < 1+rng.Intn(17); c++ {
+			// keys beyond cfg.Persons miss every shard: empty sequences
+			// must merge identically too
+			br.Calls = append(br.Calls, []xdm.Sequence{{xdm.String(xmark.PersonID(rng.Intn(cfg.Persons * 2)))}})
+		}
+		requests = append(requests, br)
+	}
+
+	for ri, br := range requests {
+		for _, shards := range []int{1, 3, 4} {
+			net := netsim.NewNetwork(0, 0)
+			dep, err := Deploy(net, reg, map[string]string{"auctions.xml": auctions},
+				DeployConfig{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			co := dep.Coordinator()
+			want, err := co.ScatterBuffered(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := co.Scatter(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encodeResults(br, got), encodeResults(br, want)) {
+				t.Fatalf("request %d over %d shards: streamed merge differs from buffered reference", ri, shards)
+			}
+		}
+	}
+}
+
+// TestScatterStreamMatchesBufferedEncoding: the fully-streamed variant
+// (merged envelope written incrementally to a sink) must emit exactly
+// the bytes of encoding the buffered scatter's result.
+func TestScatterStreamMatchesBufferedEncoding(t *testing.T) {
+	cfg := xmark.PaperConfig(0.05)
+	auctions := xmark.GenerateAuctions(cfg)
+	reg := testRegistry(t)
+
+	for _, br := range []*client.BulkRequest{probeRequest(cfg.Persons), scanRequest()} {
+		for _, shards := range []int{1, 2, 4} {
+			net := netsim.NewNetwork(0, 0)
+			dep, err := Deploy(net, reg, map[string]string{"auctions.xml": auctions},
+				DeployConfig{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			co := dep.Coordinator()
+			buffered, err := co.ScatterBuffered(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := co.ScatterStream(br, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), encodeResults(br, buffered)) {
+				t.Fatalf("%s over %d shards: ScatterStream bytes differ from encoded buffered merge",
+					br.Func, shards)
+			}
+			// the streamed envelope is a well-formed response
+			if _, err := soap.DecodeResponse(out.Bytes()); err != nil {
+				t.Fatalf("ScatterStream output does not decode: %v", err)
+			}
+		}
+	}
+}
+
+// TestScatterStreamPrunedRoute: the pruned path (per-shard call
+// subsets) flows through ScatterStream's fallback and stays identical.
+func TestScatterStreamPrunedRoute(t *testing.T) {
+	const persons = 17
+	net := netsim.NewNetwork(0, 0)
+	dep := deployPersons(t, net, persons, 3, 1)
+	co := dep.Coordinator()
+	br := getPersonRequest("person16", "person0", "person5", "nosuch", "person9")
+	buffered, err := co.ScatterBuffered(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := co.ScatterStream(br, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), encodeResults(br, buffered)) {
+		t.Fatal("pruned ScatterStream differs from buffered reference")
+	}
+}
+
+// TestScatterStreamShardTruncation: a shard dying mid-envelope must
+// surface as that shard's error, not as a silently short merge.
+func TestScatterStreamShardTruncation(t *testing.T) {
+	reg := testRegistry(t)
+	net := netsim.NewNetwork(0, 0)
+	dep, err := Deploy(net, reg, map[string]string{
+		"auctions.xml": "<site><closed_auctions><closed_auction><price>1</price></closed_auction><closed_auction><price>2</price></closed_auction></closed_auctions></site>",
+	}, DeployConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// shard 1's peer streams half a valid response, then dies
+	full, err := net.Send(dep.Table.Primary(1), client.XRPCPath,
+		soap.EncodeRequest(&soap.Request{
+			Module: "functions_b", Method: "Q_B1", Arity: 0,
+			Location: "http://example.org/b.xq", Calls: [][]xdm.Sequence{{}},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register(dep.Table.Primary(1), netsim.StreamHandlerFunc(func(_ string, _ []byte) (io.ReadCloser, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			pw.Write(full[:len(full)/2])
+			pw.CloseWithError(errors.New("shard process crashed"))
+		}()
+		return pr, nil
+	}))
+	co := dep.Coordinator()
+	_, err = co.Scatter(scanRequest())
+	if err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("err = %v, want a shard 1 failure", err)
+	}
+}
+
+// TestProxyStreamsMergedResponse drives the whole pipeline over real
+// HTTP: client → proxy → scatter → incremental merge → chunked response
+// → streaming client decode.
+func TestProxyStreamsMergedResponse(t *testing.T) {
+	cfg := xmark.PaperConfig(0.05)
+	auctions := xmark.GenerateAuctions(cfg)
+	reg := testRegistry(t)
+	br := probeRequest(cfg.Persons)
+	want := singlePeerBaseline(t, reg, auctions, br)
+
+	net := netsim.NewNetwork(0, 0)
+	dep, err := Deploy(net, reg, map[string]string{"auctions.xml": auctions}, DeployConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(&Proxy{Co: dep.Coordinator()})
+	defer hs.Close()
+
+	tr := client.NewHTTPTransport()
+	body := soap.EncodeRequest(&soap.Request{
+		Module: br.ModuleURI, Method: br.Func, Arity: br.Arity,
+		Location: br.AtHint, Calls: br.Calls,
+	})
+	rc, err := tr.SendStream(hs.URL, client.XRPCPath, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := soap.DecodeResponseStream(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeResults(br, resp.Results), want) {
+		t.Fatal("proxied cluster response differs from single-peer baseline")
+	}
+
+	// errors before any output arrive as clean fault envelopes
+	rc, err = tr.SendStream(hs.URL, client.XRPCPath, soap.EncodeRequest(&soap.Request{
+		Module: "no-such-module", Method: "f", Arity: 0, Calls: [][]xdm.Sequence{{}},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = soap.DecodeResponseStream(rc)
+	rc.Close()
+	var fault *soap.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want a SOAP fault envelope", err)
+	}
+}
+
+// TestProxyAbortsOnMidStreamFailure: once merged bytes are on the wire
+// a shard failure must terminate the connection abnormally, so the
+// client sees truncation instead of a complete-looking partial result.
+func TestProxyAbortsOnMidStreamFailure(t *testing.T) {
+	reg := testRegistry(t)
+	net := netsim.NewNetwork(0, 0)
+	big := &strings.Builder{}
+	big.WriteString("<site><closed_auctions>")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(big, "<closed_auction><price>%d</price></closed_auction>", i)
+	}
+	big.WriteString("</closed_auctions></site>")
+	dep, err := Deploy(net, reg, map[string]string{"auctions.xml": big.String()}, DeployConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// shard 0 streams enough of a response that the proxy starts
+	// emitting merged output, then crashes
+	full, err := net.Send(dep.Table.Primary(0), client.XRPCPath,
+		soap.EncodeRequest(&soap.Request{
+			Module: "functions_b", Method: "Q_B1", Arity: 0,
+			Location: "http://example.org/b.xq", Calls: [][]xdm.Sequence{{}},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register(dep.Table.Primary(0), netsim.StreamHandlerFunc(func(_ string, _ []byte) (io.ReadCloser, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			pw.Write(full[:len(full)-200])
+			pw.CloseWithError(errors.New("shard process crashed"))
+		}()
+		return pr, nil
+	}))
+	co := dep.Coordinator()
+	co.MaxShardBuffer = 4 << 10 // small window so the merge starts before the crash is buffered
+	hs := httptest.NewServer(&Proxy{Co: co})
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+client.XRPCPath, "application/soap+xml",
+		bytes.NewReader(soap.EncodeRequest(&soap.Request{
+			Module: "functions_b", Method: "Q_B1", Arity: 0,
+			Location: "http://example.org/b.xq", Calls: [][]xdm.Sequence{{}},
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("mid-stream shard failure delivered a clean (truncated) response body")
+	}
+}
+
+// ------------------------------------------------- bounded-memory smoke
+
+// syntheticShard produces a response of approximately size bytes (one
+// call, many ~1 KiB string items) through the stream encoder — the
+// response never exists as one buffer on the producer side either.
+func syntheticShard(size int64) netsim.StreamHandlerFunc {
+	return netsim.StreamHandlerFunc(func(_ string, _ []byte) (io.ReadCloser, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			item := xdm.String(strings.Repeat("x", 1024))
+			enc := soap.NewStreamEncoder(pw, 0)
+			enc.BeginResponse("m", "scan")
+			enc.BeginSequence()
+			for n := int64(0); n < size && enc.Err() == nil; n += 1024 {
+				enc.EncodeItem(item)
+			}
+			enc.EndSequence()
+			enc.EndResponse(nil)
+			err := enc.Flush()
+			enc.Release()
+			pw.CloseWithError(err)
+		}()
+		return pr, nil
+	})
+}
+
+// heapPeak samples HeapAlloc while f runs and returns the high-water
+// mark observed.
+func heapPeak(f func()) uint64 {
+	runtime.GC()
+	stop := make(chan struct{})
+	var peak atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			old := peak.Load()
+			if ms.HeapAlloc <= old || peak.CompareAndSwap(old, ms.HeapAlloc) {
+				break
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	sample()
+	f()
+	sample()
+	close(stop)
+	<-done
+	return peak.Load()
+}
+
+// TestScatterStreamBoundedMemory is the GOMEMLIMIT smoke: the
+// coordinator scans a synthetic result much larger than any sane heap
+// budget for it, and its peak heap must stay flat as the result grows.
+// `make memsmoke` runs it under GOMEMLIMIT=64MiB with
+// XRPC_MEMSMOKE_BYTES=268435456 (a 256 MiB scan, 4x the cap): if the
+// merge buffered anything proportional to the response, the runtime
+// would be forced into OOM-adjacent thrash instead of finishing.
+func TestScatterStreamBoundedMemory(t *testing.T) {
+	total := int64(32 << 20)
+	if s := os.Getenv("XRPC_MEMSMOKE_BYTES"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("XRPC_MEMSMOKE_BYTES = %q: %v", s, err)
+		}
+		total = v
+	}
+	const shards = 4
+	const window = 256 << 10
+
+	run := func(size int64) (peak uint64, streamed int64) {
+		net := netsim.NewNetwork(0, 0)
+		rt, err := NewRoutingTable(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < shards; s++ {
+			uri := fmt.Sprintf("xrpc://shard%d", s)
+			net.Register(uri, syntheticShard(size/shards))
+			if err := rt.Add(s, uri); err != nil {
+				t.Fatal(err)
+			}
+		}
+		co := NewCoordinator(rt, client.New(net))
+		co.MaxShardBuffer = window
+		br := &client.BulkRequest{ModuleURI: "m", Func: "scan", Arity: 0, Calls: [][]xdm.Sequence{{}}}
+		var n int64
+		peak = heapPeak(func() {
+			cw := &countWriter{n: &n}
+			if err := co.ScatterStream(br, cw); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return peak, n
+	}
+
+	peakSmall, _ := run(total / 4)
+	peakFull, streamed := run(total)
+	t.Logf("streamed %d MiB merged response; peak heap: %d MiB at quarter size, %d MiB at full size",
+		streamed>>20, peakSmall>>20, peakFull>>20)
+	if streamed < total {
+		t.Fatalf("merged response only %d bytes, want >= %d", streamed, total)
+	}
+	// flat: quadrupling the response must not move the peak by more
+	// than a generous constant — O(shards×window), not O(result)
+	flatBudget := peakSmall + shards*window*4 + (16 << 20)
+	if peakFull > flatBudget {
+		t.Fatalf("peak heap grows with result size: %d at %d bytes vs %d at %d bytes",
+			peakFull, total, peakSmall, total/4)
+	}
+}
+
+type countWriter struct{ n *int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c.n += int64(len(p))
+	return len(p), nil
+}

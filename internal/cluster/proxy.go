@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"xrpc/internal/client"
+	"xrpc/internal/soap"
+)
+
+// Proxy exposes a Coordinator as an ordinary XRPC peer over HTTP: a
+// client posts a bulk request to /xrpc exactly as it would to a single
+// server, and receives the merged cluster response — streamed. Read
+// requests flow through ScatterStream, so the proxy forwards shard
+// results to the client as they arrive and never materializes the
+// merged response; updating requests route through Update (whose
+// result, one status sequence per call, is small by construction).
+type Proxy struct {
+	Co *Coordinator
+	// MaxRequestBytes bounds one request body (0 = 256 MiB, matching
+	// server.DefaultMaxRequestBytes).
+	MaxRequestBytes int64
+}
+
+const proxyMaxRequestBytes = 256 << 20
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "XRPC requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	maxBytes := p.MaxRequestBytes
+	if maxBytes <= 0 {
+		maxBytes = proxyMaxRequestBytes
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > maxBytes {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxBytes),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	w.Header().Set("Content-Type", "application/soap+xml; charset=utf-8")
+	req, err := soap.DecodeRequest(body)
+	if err != nil {
+		soap.EncodeFaultTo(w, &soap.Fault{Code: "env:Sender",
+			Reason: fmt.Sprintf("malformed request: %v", err)})
+		return
+	}
+	br := &client.BulkRequest{
+		ModuleURI:  req.Module,
+		AtHint:     req.Location,
+		Func:       req.Method,
+		Arity:      req.Arity,
+		Updating:   req.Updating,
+		Calls:      req.Calls,
+		ByFragment: req.ByFragment,
+		SeqNrs:     req.SeqNrs,
+	}
+	co := p.Co.withQueryID(req.QueryID)
+	if req.Updating {
+		results, err := co.Update(br)
+		if err != nil {
+			soap.EncodeFaultTo(w, proxyFault(err))
+			return
+		}
+		soap.EncodeResponseTo(w, &soap.Response{
+			Module: req.Module, Method: req.Method, Results: results,
+		})
+		return
+	}
+	sink := &proxySink{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		sink.f = f
+	}
+	if err := co.ScatterStream(br, sink); err != nil {
+		if sink.wrote == 0 {
+			// nothing left the process yet: a clean fault envelope
+			soap.EncodeFaultTo(w, proxyFault(err))
+			return
+		}
+		// mid-stream failure with merged bytes already on the wire: the
+		// partial envelope must not arrive looking complete, so abort
+		// the connection — the client's decoder sees truncation, not a
+		// silently shortened result
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func proxyFault(err error) *soap.Fault {
+	if f, ok := err.(*soap.Fault); ok {
+		return f
+	}
+	return &soap.Fault{Code: "env:Receiver", Reason: err.Error()}
+}
+
+// proxySink forwards encoder chunks to the client immediately and
+// remembers whether anything was written (the fault-vs-abort decision
+// above).
+type proxySink struct {
+	w     io.Writer
+	f     http.Flusher
+	wrote int64
+}
+
+func (s *proxySink) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	s.wrote += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if s.f != nil {
+		s.f.Flush()
+	}
+	return n, nil
+}
+
+// withQueryID returns a coordinator whose scattered requests carry the
+// given queryID (repeatable-read isolation for proxied clients): the
+// coordinator itself is shared state, so a shallow sibling sharing the
+// routing table and transport is built around a client pinned to the
+// queryID. A nil queryID returns the coordinator unchanged.
+func (co *Coordinator) withQueryID(qid *soap.QueryID) *Coordinator {
+	if qid == nil {
+		return co
+	}
+	cl := client.New(co.Client.Transport)
+	cl.QueryID = qid
+	sib := &Coordinator{
+		ClusterURI:     co.ClusterURI,
+		Table:          co.Table,
+		Client:         cl,
+		TxnTimeout:     co.TxnTimeout,
+		MaxShardBuffer: co.MaxShardBuffer,
+		OnEvict:        co.OnEvict,
+	}
+	co.mu.RLock()
+	sib.routes = append([]RouteSpec(nil), co.routes...)
+	co.mu.RUnlock()
+	return sib
+}

@@ -12,7 +12,9 @@
 package netsim
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,10 +26,28 @@ type Handler interface {
 	HandleXRPC(path string, body []byte) ([]byte, error)
 }
 
+// StreamHandler is a peer endpoint that produces its response
+// incrementally: the returned reader yields response bytes as the peer
+// computes them, so a consumer can start decoding before the peer has
+// finished. Handlers that also implement StreamHandler are dispatched
+// through it by SendStream.
+type StreamHandler interface {
+	HandleXRPCStream(path string, body []byte) (io.ReadCloser, error)
+}
+
 // Transport delivers a message to a destination peer URI and returns the
 // response bytes. Implementations: *Network (simulated), client.HTTPTransport.
 type Transport interface {
 	Send(dest, path string, body []byte) ([]byte, error)
+}
+
+// StreamTransport is a Transport that can additionally deliver the
+// response as a byte stream instead of one buffered slice. The caller
+// must Close the returned reader (after draining it, if the connection
+// is to be reused). Implementations: *Network, client.HTTPTransport.
+type StreamTransport interface {
+	Transport
+	SendStream(dest, path string, body []byte) (io.ReadCloser, error)
 }
 
 // Stats counts traffic through a network.
@@ -115,6 +135,73 @@ func (n *Network) Send(dest, path string, body []byte) ([]byte, error) {
 	return resp, nil
 }
 
+// SendStream implements StreamTransport. The request's share of the
+// simulated delay (RTT plus request transfer time) is paid when the
+// stream opens; response bytes are then paced per Read at the configured
+// bandwidth, so a consumer overlaps decode time with transfer time just
+// as it would on a real socket. Peers implementing StreamHandler stream
+// natively; buffered handlers are wrapped, preserving their semantics.
+// Stats are counted only for streams that open successfully, with
+// received bytes metered as they are read.
+func (n *Network) SendStream(dest, path string, body []byte) (io.ReadCloser, error) {
+	n.mu.RLock()
+	h, ok := n.peers[dest]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: no peer registered at %q", dest)
+	}
+	var rc io.ReadCloser
+	if sh, ok := h.(StreamHandler); ok {
+		var err error
+		if rc, err = sh.HandleXRPCStream(path, body); err != nil {
+			return nil, err
+		}
+	} else {
+		resp, err := h.HandleXRPC(path, body)
+		if err != nil {
+			return nil, err
+		}
+		rc = io.NopCloser(bytes.NewReader(resp))
+	}
+	delay := n.RTT
+	if n.Bandwidth > 0 {
+		delay += time.Duration(float64(len(body)) / n.Bandwidth * float64(time.Second))
+	}
+	if delay > 0 && n.Sleep != nil {
+		n.Sleep(delay)
+	}
+	ps := n.peerStats(dest)
+	n.Stats.Requests.Add(1)
+	n.Stats.BytesSent.Add(int64(len(body)))
+	ps.Requests.Add(1)
+	ps.BytesSent.Add(int64(len(body)))
+	return &meteredBody{rc: rc, net: n, ps: ps}, nil
+}
+
+// meteredBody paces and counts response bytes as the consumer reads
+// them off a simulated stream.
+type meteredBody struct {
+	rc  io.ReadCloser
+	net *Network
+	ps  *Stats
+}
+
+func (m *meteredBody) Read(p []byte) (int, error) {
+	n, err := m.rc.Read(p)
+	if n > 0 {
+		if m.net.Bandwidth > 0 && m.net.Sleep != nil {
+			if d := time.Duration(float64(n) / m.net.Bandwidth * float64(time.Second)); d > 0 {
+				m.net.Sleep(d)
+			}
+		}
+		m.net.Stats.BytesReceived.Add(int64(n))
+		m.ps.BytesReceived.Add(int64(n))
+	}
+	return n, err
+}
+
+func (m *meteredBody) Close() error { return m.rc.Close() }
+
 func (n *Network) peerStats(dest string) *Stats {
 	// fast path: steady-state sends only take the read lock, keeping
 	// concurrent scatter traffic free of writer serialization
@@ -169,4 +256,23 @@ type HandlerFunc func(path string, body []byte) ([]byte, error)
 // HandleXRPC implements Handler.
 func (f HandlerFunc) HandleXRPC(path string, body []byte) ([]byte, error) {
 	return f(path, body)
+}
+
+// StreamHandlerFunc adapts a function to both Handler and StreamHandler:
+// buffered callers read the stream to completion.
+type StreamHandlerFunc func(path string, body []byte) (io.ReadCloser, error)
+
+// HandleXRPCStream implements StreamHandler.
+func (f StreamHandlerFunc) HandleXRPCStream(path string, body []byte) (io.ReadCloser, error) {
+	return f(path, body)
+}
+
+// HandleXRPC implements Handler by draining the stream.
+func (f StreamHandlerFunc) HandleXRPC(path string, body []byte) ([]byte, error) {
+	rc, err := f(path, body)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
 }

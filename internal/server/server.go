@@ -142,6 +142,24 @@ func (s *Server) HandleXRPC(path string, body []byte) ([]byte, error) {
 	return out, nil
 }
 
+// HandleXRPCStream implements netsim.StreamHandler: the response
+// envelope is encoded into a pipe in chunks while the caller reads,
+// so the serialized response never materializes as one buffer. The
+// execution itself (and the fault-or-response decision) completes
+// before the first byte is written; what streams is the envelope,
+// which for bulk results dwarfs everything else.
+func (s *Server) HandleXRPCStream(path string, body []byte) (io.ReadCloser, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := soap.NewStreamEncoder(pw, 0)
+		s.handleInto(enc, body)
+		err := enc.Flush()
+		enc.Release()
+		pw.CloseWithError(err)
+	}()
+	return pr, nil
+}
+
 // handleInto runs one request and encodes the response (or fault) into
 // enc.
 func (s *Server) handleInto(enc *soap.Encoder, body []byte) {
@@ -197,18 +215,54 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.StatusRequestEntityTooLarge)
 		return
 	}
-	enc := soap.NewEncoder()
-	defer enc.Release()
-	s.handleInto(enc, body)
 	w.Header().Set("Content-Type", "application/soap+xml; charset=utf-8")
+	// serve through the chunked stream encoder: each encoder chunk is
+	// written and flushed to the wire immediately, so a client that
+	// consumes the response as a stream sees the first results while the
+	// rest of the envelope is still being rendered, and the response
+	// bytes never accumulate server-side
+	sink := &flushWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		sink.f = f
+	}
 	if s.Gzip && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
 		w.Header().Set("Content-Encoding", "gzip")
 		gz := gzip.NewWriter(w)
-		gz.Write(enc.Bytes())
-		gz.Close()
-		return
+		defer gz.Close()
+		sink.w, sink.gz = gz, gz
 	}
-	w.Write(enc.Bytes())
+	enc := soap.NewStreamEncoder(sink, 0)
+	defer enc.Release()
+	s.handleInto(enc, body)
+	enc.Flush()
+	// a late write error means the client went away mid-response;
+	// there is no one left to report it to
+}
+
+// flushWriter pushes every encoder chunk through to the socket: a
+// sync-flush of the gzip stream (so compressed chunks are decodable as
+// they arrive) followed by an http.Flusher flush (so the chunked
+// transfer encoding emits the bytes instead of buffering them).
+type flushWriter struct {
+	w  io.Writer
+	gz *gzip.Writer
+	f  http.Flusher
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if fw.gz != nil {
+		if err := fw.gz.Flush(); err != nil {
+			return n, err
+		}
+	}
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, nil
 }
 
 func (s *Server) handle(body []byte) (*soap.Response, error) {

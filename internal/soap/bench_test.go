@@ -1,7 +1,9 @@
 package soap
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -124,6 +126,68 @@ func BenchmarkSoapDecodeResponseDOM(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeDOM(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoapDecodeResponseStream runs the same decode through the
+// incremental reader path (refill scanner over an io.Reader), the
+// configuration the streamed scatter-gather uses.
+func BenchmarkSoapDecodeResponseStream(b *testing.B) {
+	msg := EncodeResponse(benchResponse(64))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeResponseStream(bytes.NewReader(msg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoapResponseStreamWalk measures item-at-a-time consumption:
+// header, every sequence, every item, Finish — without retaining the
+// response.
+func BenchmarkSoapResponseStreamWalk(b *testing.B) {
+	msg := EncodeResponse(benchResponse(64))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := NewResponseStream(bytes.NewReader(msg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			ok, err := rs.NextSequence()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			for {
+				it, err := rs.NextItem()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if it == nil {
+					break
+				}
+			}
+		}
+		if _, err := rs.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoapEncodeResponseTo streams the encode to a sink in chunks
+// instead of accumulating the envelope.
+func BenchmarkSoapEncodeResponseTo(b *testing.B) {
+	resp := benchResponse(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := EncodeResponseTo(io.Discard, resp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -338,82 +338,95 @@ func (d *decoder) decodeSequence() (xdm.Sequence, error) {
 		if tok != tokStart {
 			continue
 		}
-		switch localName(d.sc.name) {
-		case "atomic-value":
-			typ, _ := d.attrExactScan("xsi:type")
-			if typ == "" {
-				typ = "xs:untypedAtomic"
-			}
-			sv, err := d.elementText()
-			if err != nil {
-				return nil, err
-			}
-			item, err := xdm.CastAtomic(xdm.String(sv), typ)
-			if err != nil {
-				return nil, fmt.Errorf("soap: bad atomic value %q as %s: %w", sv, typ, err)
-			}
-			out = append(out, item)
-		case "element":
-			ref := d.attrLocalScan("nodeid")
-			elems, err := d.childElements()
-			if err != nil {
-				return nil, err
-			}
-			if ref != "" && len(elems) == 0 {
-				// call-by-fragment placeholder, resolved after all
-				// parameters of the call are decoded
-				ph := d.arena.Element(nodeRefPlaceholder)
-				ph.Value = ref
-				out = append(out, ph)
-				continue
-			}
-			for _, el := range elems {
-				out = append(out, el)
-			}
-		case "document":
-			doc, err := d.buildDocument()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, doc)
-		case "attribute":
-			for _, a := range d.sc.attrs {
-				attr := d.arena.Attribute(a.name, a.value)
-				attr.Seal()
-				out = append(out, attr)
-			}
-			if err := d.skipElement(); err != nil {
-				return nil, err
-			}
-		case "text":
-			sv, err := d.elementText()
-			if err != nil {
-				return nil, err
-			}
-			t := d.arena.Text(sv)
-			t.Seal()
-			out = append(out, t)
-		case "comment":
-			sv, err := d.elementText()
-			if err != nil {
-				return nil, err
-			}
-			c := d.arena.Comment(sv)
-			c.Seal()
-			out = append(out, c)
-		case "pi":
-			pitarget := d.attrLocalScan("target")
-			sv, err := d.elementText()
-			if err != nil {
-				return nil, err
-			}
-			pi := d.arena.PI(pitarget, sv)
-			pi.Seal()
-			out = append(out, pi)
-		default:
-			return nil, fmt.Errorf("soap: unknown sequence item element %q", d.sc.name)
+		if out, err = d.decodeSequenceItem(out); err != nil {
+			return nil, err
 		}
 	}
+}
+
+// decodeSequenceItem consumes the sequence-item element at the current
+// start token and appends the item(s) it denotes to out. One wrapper
+// may contribute zero items (an empty <xrpc:element/>) or several (an
+// <xrpc:attribute> with multiple attributes), which is why the decoded
+// items are appended rather than returned singly. Shared by the
+// buffered decoder (decodeSequence) and the incremental ResponseStream.
+func (d *decoder) decodeSequenceItem(out xdm.Sequence) (xdm.Sequence, error) {
+	switch localName(d.sc.name) {
+	case "atomic-value":
+		typ, _ := d.attrExactScan("xsi:type")
+		if typ == "" {
+			typ = "xs:untypedAtomic"
+		}
+		sv, err := d.elementText()
+		if err != nil {
+			return nil, err
+		}
+		item, err := xdm.CastAtomic(xdm.String(sv), typ)
+		if err != nil {
+			return nil, fmt.Errorf("soap: bad atomic value %q as %s: %w", sv, typ, err)
+		}
+		out = append(out, item)
+	case "element":
+		ref := d.attrLocalScan("nodeid")
+		elems, err := d.childElements()
+		if err != nil {
+			return nil, err
+		}
+		if ref != "" && len(elems) == 0 {
+			// call-by-fragment placeholder, resolved after all
+			// parameters of the call are decoded
+			ph := d.arena.Element(nodeRefPlaceholder)
+			ph.Value = ref
+			out = append(out, ph)
+			return out, nil
+		}
+		for _, el := range elems {
+			out = append(out, el)
+		}
+	case "document":
+		doc, err := d.buildDocument()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, doc)
+	case "attribute":
+		for _, a := range d.sc.attrs {
+			attr := d.arena.Attribute(a.name, a.value)
+			attr.Seal()
+			out = append(out, attr)
+		}
+		if err := d.skipElement(); err != nil {
+			return nil, err
+		}
+	case "text":
+		sv, err := d.elementText()
+		if err != nil {
+			return nil, err
+		}
+		t := d.arena.Text(sv)
+		t.Seal()
+		out = append(out, t)
+	case "comment":
+		sv, err := d.elementText()
+		if err != nil {
+			return nil, err
+		}
+		c := d.arena.Comment(sv)
+		c.Seal()
+		out = append(out, c)
+	case "pi":
+		pitarget := d.attrLocalScan("target")
+		sv, err := d.elementText()
+		if err != nil {
+			return nil, err
+		}
+		pi := d.arena.PI(pitarget, sv)
+		pi.Seal()
+		out = append(out, pi)
+	default:
+		return nil, fmt.Errorf("soap: unknown sequence item element %q", d.sc.name)
+	}
+	return out, nil
 }
 
 func (d *decoder) decodeResponse() (*Response, error) {
@@ -447,35 +460,43 @@ func (d *decoder) decodeResponse() (*Response, error) {
 			}
 			resp.Results = append(resp.Results, seq)
 		case "participatingPeers":
-			if d.sc.selfClose {
-				continue
-			}
-			ptarget := d.sc.depth - 1
-			for {
-				tok, err := d.sc.next()
-				if err != nil {
-					return nil, err
-				}
-				if tok == tokEnd {
-					if d.sc.depth == ptarget {
-						break
-					}
-					continue
-				}
-				if tok != tokStart {
-					continue
-				}
-				if uri, ok := d.attrExactScan("uri"); ok {
-					resp.Peers = append(resp.Peers, uri)
-				}
-				if err := d.skipElement(); err != nil {
-					return nil, err
-				}
+			if resp.Peers, err = d.decodePeers(resp.Peers); err != nil {
+				return nil, err
 			}
 		default:
 			if err := d.skipElement(); err != nil {
 				return nil, err
 			}
+		}
+	}
+}
+
+// decodePeers consumes an <xrpc:participatingPeers> element whose start
+// tag is current, appending each peer child's uri attribute.
+func (d *decoder) decodePeers(peers []string) ([]string, error) {
+	if d.sc.selfClose {
+		return peers, nil
+	}
+	target := d.sc.depth - 1
+	for {
+		tok, err := d.sc.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok == tokEnd {
+			if d.sc.depth == target {
+				return peers, nil
+			}
+			continue
+		}
+		if tok != tokStart {
+			continue
+		}
+		if uri, ok := d.attrExactScan("uri"); ok {
+			peers = append(peers, uri)
+		}
+		if err := d.skipElement(); err != nil {
+			return nil, err
 		}
 	}
 }

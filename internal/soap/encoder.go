@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"io"
 	"strconv"
 	"sync"
 	"time"
@@ -37,9 +38,27 @@ const maxPooledBuf = 1 << 20
 // valid until Release. Callers that need the message to outlive the
 // encoder copy it (or use the package-level Encode* wrappers, which do
 // exactly that one copy).
+//
+// The encoder also has a sink-writer mode (EncodeTo / NewStreamEncoder):
+// with a sink attached, the buffer flushes to it every chunk bytes, so a
+// response streams out as it is encoded and the encoder's memory stays
+// at one chunk regardless of message size. Both modes run the same
+// emission code, so the concatenated chunks are byte-identical to a
+// buffered encode. In sink mode Bytes/Copy only see the unflushed tail;
+// a write error sticks in Err and turns the remaining writes into
+// no-ops.
 type Encoder struct {
 	buf []byte
+
+	// sink-writer mode
+	w     io.Writer
+	chunk int
+	err   error
 }
+
+// DefaultStreamChunk is the flush threshold EncodeTo uses when the
+// caller passes chunk <= 0.
+const DefaultStreamChunk = 32 << 10
 
 var encoderPool = sync.Pool{
 	New: func() any { return &Encoder{buf: make([]byte, 0, 4096)} },
@@ -49,19 +68,74 @@ var encoderPool = sync.Pool{
 func NewEncoder() *Encoder {
 	e := encoderPool.Get().(*Encoder)
 	e.buf = e.buf[:0]
+	e.w = nil
+	e.chunk = 0
+	e.err = nil
 	return e
+}
+
+// NewStreamEncoder returns a pooled encoder in sink-writer mode:
+// encoded bytes flush to w in chunk-sized writes (DefaultStreamChunk if
+// chunk <= 0). Finish with Flush, then Release.
+func NewStreamEncoder(w io.Writer, chunk int) *Encoder {
+	e := NewEncoder()
+	e.EncodeTo(w, chunk)
+	return e
+}
+
+// EncodeTo attaches a sink: from now on the buffer flushes to w
+// whenever it reaches chunk bytes. Anything already buffered is
+// retained and flushes with the first full chunk.
+func (e *Encoder) EncodeTo(w io.Writer, chunk int) {
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	e.w = w
+	e.chunk = chunk
+	e.err = nil
+}
+
+// Flush writes any buffered tail to the sink and reports the first
+// write error. No-op in buffered mode.
+func (e *Encoder) Flush() error {
+	if e.w != nil && len(e.buf) > 0 {
+		e.flushChunk()
+	}
+	return e.err
+}
+
+// Err reports the first sink write error.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) flushChunk() {
+	if e.err == nil {
+		_, e.err = e.w.Write(e.buf)
+	}
+	e.buf = e.buf[:0]
+}
+
+// maybeFlush spills the buffer once it holds a full chunk. Only the
+// bulk append paths check; the few-byte helpers (int, byte) run between
+// str calls and ride along.
+func (e *Encoder) maybeFlush() {
+	if e.w != nil && len(e.buf) >= e.chunk {
+		e.flushChunk()
+	}
 }
 
 // Release returns the encoder to the pool. The slice previously returned
 // by Bytes must not be used afterwards.
 func (e *Encoder) Release() {
+	e.w = nil
+	e.chunk = 0
+	e.err = nil
 	if cap(e.buf) <= maxPooledBuf {
 		encoderPool.Put(e)
 	}
 }
 
 // Bytes returns the encoded message without copying; valid until
-// Release.
+// Release. In sink mode: only the unflushed tail.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
 // Copy returns a fresh copy of the encoded message, safe to keep after
@@ -71,12 +145,14 @@ func (e *Encoder) Copy() []byte { return append([]byte(nil), e.buf...) }
 // Write implements io.Writer.
 func (e *Encoder) Write(p []byte) (int, error) {
 	e.buf = append(e.buf, p...)
+	e.maybeFlush()
 	return len(p), nil
 }
 
 // WriteString implements io.StringWriter (and half of xdm.XMLWriter).
 func (e *Encoder) WriteString(s string) (int, error) {
 	e.buf = append(e.buf, s...)
+	e.maybeFlush()
 	return len(s), nil
 }
 
@@ -87,9 +163,12 @@ func (e *Encoder) WriteByte(c byte) error {
 }
 
 // str/int append shorthands.
-func (e *Encoder) str(s string) { e.buf = append(e.buf, s...) }
-func (e *Encoder) int(v int64)  { e.buf = strconv.AppendInt(e.buf, v, 10) }
-func (e *Encoder) byte(c byte)  { e.buf = append(e.buf, c) }
+func (e *Encoder) str(s string) {
+	e.buf = append(e.buf, s...)
+	e.maybeFlush()
+}
+func (e *Encoder) int(v int64) { e.buf = strconv.AppendInt(e.buf, v, 10) }
+func (e *Encoder) byte(c byte) { e.buf = append(e.buf, c) }
 
 // attr appends ` name="value"` with attribute escaping —
 // xdm.EscapeAttr, the same table node serialization uses, so a value
@@ -184,19 +263,45 @@ func (e *Encoder) EncodeRequest(r *Request) {
 	e.str(envelopeFooter)
 }
 
-// EncodeResponse appends the SOAP XRPC response envelope for r.
+// EncodeResponse appends the SOAP XRPC response envelope for r. It is
+// built from the Begin/End framing methods below, so a response
+// composed incrementally (the streaming scatter-gather merge) is
+// byte-identical to a buffered encode of the same results by
+// construction.
 func (e *Encoder) EncodeResponse(r *Response) {
-	e.str(envelopeHeader)
-	e.str(`<xrpc:response`)
-	e.attr("xrpc:module", r.Module)
-	e.attr("xrpc:method", r.Method)
-	e.str(">\n")
+	e.BeginResponse(r.Module, r.Method)
 	for _, seq := range r.Results {
 		e.sequence(seq)
 	}
-	if len(r.Peers) > 0 {
+	e.EndResponse(r.Peers)
+}
+
+// BeginResponse opens a response envelope: header through the
+// <xrpc:response> start tag. Follow with BeginSequence/EncodeItem/
+// EndSequence per result, then EndResponse.
+func (e *Encoder) BeginResponse(module, method string) {
+	e.str(envelopeHeader)
+	e.str(`<xrpc:response`)
+	e.attr("xrpc:module", module)
+	e.attr("xrpc:method", method)
+	e.str(">\n")
+}
+
+// BeginSequence opens one result sequence.
+func (e *Encoder) BeginSequence() { e.str("<xrpc:sequence>") }
+
+// EncodeItem appends one item to the open sequence.
+func (e *Encoder) EncodeItem(it xdm.Item) { e.item(it) }
+
+// EndSequence closes the open result sequence.
+func (e *Encoder) EndSequence() { e.str("</xrpc:sequence>\n") }
+
+// EndResponse closes the response envelope, appending the
+// participatingPeers block when peers is non-empty.
+func (e *Encoder) EndResponse(peers []string) {
+	if len(peers) > 0 {
 		e.str("<xrpc:participatingPeers>\n")
-		for _, p := range r.Peers {
+		for _, p := range peers {
 			e.str(`<xrpc:peer`)
 			e.attr("uri", p)
 			e.str("/>\n")
@@ -221,11 +326,11 @@ func (e *Encoder) EncodeFault(f *Fault) {
 
 // sequence is s2n (§2.2): the SOAP representation of an XDM sequence.
 func (e *Encoder) sequence(seq xdm.Sequence) {
-	e.str("<xrpc:sequence>")
+	e.BeginSequence()
 	for _, it := range seq {
 		e.item(it)
 	}
-	e.str("</xrpc:sequence>\n")
+	e.EndSequence()
 }
 
 func (e *Encoder) item(it xdm.Item) {
@@ -313,4 +418,32 @@ func EncodeFault(f *Fault) []byte {
 	out := e.Copy()
 	e.Release()
 	return out
+}
+
+// EncodeRequestTo streams the request envelope to w in chunks.
+func EncodeRequestTo(w io.Writer, r *Request) error {
+	e := NewStreamEncoder(w, 0)
+	e.EncodeRequest(r)
+	err := e.Flush()
+	e.Release()
+	return err
+}
+
+// EncodeResponseTo streams the response envelope to w in chunks: the
+// same bytes EncodeResponse produces, without ever materializing them.
+func EncodeResponseTo(w io.Writer, r *Response) error {
+	e := NewStreamEncoder(w, 0)
+	e.EncodeResponse(r)
+	err := e.Flush()
+	e.Release()
+	return err
+}
+
+// EncodeFaultTo streams a SOAP Fault envelope to w.
+func EncodeFaultTo(w io.Writer, f *Fault) error {
+	e := NewStreamEncoder(w, 0)
+	e.EncodeFault(f)
+	err := e.Flush()
+	e.Release()
+	return err
 }

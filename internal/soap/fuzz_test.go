@@ -48,6 +48,42 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeStream feeds the same corpus through the incremental
+// decoder with an adversarial chunking derived from the input, and
+// requires it to agree with the buffered decoder byte for byte: same
+// accept/reject outcome, and identical re-encodings on success. This is
+// the differential oracle for the refill paths (grow/compact/find) the
+// buffered mode never exercises.
+func FuzzDecodeStream(f *testing.F) {
+	for _, req := range fixtureRequests(f) {
+		f.Add(EncodeRequest(req), uint8(1))
+	}
+	for _, resp := range fixtureResponses(f) {
+		f.Add(EncodeResponse(resp), uint8(3))
+	}
+	f.Add(EncodeFault(&Fault{Code: "env:Sender", Reason: "could not load module!"}), uint8(0))
+	f.Add([]byte(`<?xml version="1.0"?><S:Envelope xmlns:S="e"><S:Body><x:request x:module='m' x:method='f' x:arity='1' x:location='l' xmlns:x="u"><x:call><x:sequence><x:atomic-value xsi:type="xs:integer" xmlns:xsi="i">7</x:atomic-value></x:sequence></x:call></x:request></S:Body></S:Envelope>`), uint8(2))
+	f.Add([]byte(`<env:Envelope><env:Body><xrpc:response xrpc:module="m" xrpc:method="f"><xrpc:sequence><xrpc:element><a b="&#65;"><![CDATA[<raw>]]></a></xrpc:element></xrpc:sequence></xrpc:response></env:Body></env:Envelope>`), uint8(7))
+	f.Add([]byte(`<!DOCTYPE x [<!ENTITY y "z">]><env:Envelope><env:Body/></env:Envelope>`), uint8(255))
+
+	f.Fuzz(func(t *testing.T, data []byte, size uint8) {
+		chunk := int(size)%64 + 1
+		buffered, errBuf := Decode(data)
+		streamed, errStream := DecodeStream(&chunkReader{data: data, size: chunk}) // must not panic
+		if (errBuf == nil) != (errStream == nil) {
+			t.Fatalf("decoder disagreement (chunk=%d): buffered err=%v, stream err=%v\ninput: %q",
+				chunk, errBuf, errStream, data)
+		}
+		if errBuf != nil {
+			return
+		}
+		if got, want := reencodeFuzz(t, streamed), reencodeFuzz(t, buffered); !bytes.Equal(got, want) {
+			t.Fatalf("streamed decode differs (chunk=%d)\nstream: %q\nbuffered: %q\ninput: %q",
+				chunk, got, want, data)
+		}
+	})
+}
+
 func reencodeFuzz(t *testing.T, m *Message) []byte {
 	t.Helper()
 	switch {

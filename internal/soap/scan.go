@@ -3,6 +3,7 @@ package soap
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"strconv"
 	"unicode/utf8"
 )
@@ -16,6 +17,17 @@ import (
 // repeats the same two dozen names thousands of times in a bulk
 // request), attribute values hit the same table for the common xsi:type
 // names, and text is only unescaped when the decoder actually keeps it.
+//
+// The tokenizer has two input modes sharing every scan routine:
+//
+//   - byte mode: data holds the whole message, src is nil. Every
+//     "refill" is a no-op, so the hot loops behave exactly as they did
+//     when the scanner only accepted []byte.
+//   - stream mode: src refills data incrementally, so envelopes decode
+//     as bytes arrive off the socket. Scans hold absolute offsets into
+//     data, so refills only ever append; the consumed prefix is
+//     reclaimed between tokens (compact), keeping the window bounded by
+//     the largest single token plus one read.
 
 // Token kinds produced by scanner.next.
 type tokenKind int
@@ -42,13 +54,19 @@ const (
 type scanAttr struct{ name, value string }
 
 // scanner is the pull tokenizer state. The zero value plus data is ready
-// to use.
+// to use (byte mode); setting src instead selects stream mode.
 type scanner struct {
 	data []byte
 	pos  int
 	// depth is the current element nesting depth; next() maintains it
 	// and rejects underflow and unclosed elements at EOF.
 	depth int
+
+	// src, when non-nil, refills data from an incremental reader. It is
+	// cleared at EOF; a non-EOF read error is held in srcErr and
+	// surfaces as soon as the scanner needs bytes it never got.
+	src    io.Reader
+	srcErr error
 
 	// current-token state, valid until the following next() call
 	name      string
@@ -59,6 +77,69 @@ type scanner struct {
 
 	// names interns tag/attribute names not in the static table.
 	names map[string]string
+}
+
+const (
+	// minRead is the smallest free space grow() will read into; below
+	// it the buffer is regrown first so reads stay reasonably sized.
+	minRead = 512
+	// initialStreamBuf is the first allocation for a stream-mode
+	// window.
+	initialStreamBuf = 4096
+	// compactThreshold is how much consumed prefix accumulates before
+	// compact() slides the window; sliding on every token would make
+	// tokenizing an n-byte buffer O(n²).
+	compactThreshold = 4096
+)
+
+// grow appends more input from src to data without moving existing
+// bytes (in-flight scans hold absolute offsets into data). It reports
+// whether at least one new byte arrived; false with a nil error means
+// the input is complete (byte mode, or stream EOF).
+func (s *scanner) grow() (bool, error) {
+	for s.src != nil {
+		if cap(s.data)-len(s.data) < minRead {
+			newCap := 2 * cap(s.data)
+			if newCap < initialStreamBuf {
+				newCap = initialStreamBuf
+			}
+			buf := make([]byte, len(s.data), newCap)
+			copy(buf, s.data)
+			s.data = buf
+		}
+		n, err := s.src.Read(s.data[len(s.data):cap(s.data)])
+		s.data = s.data[:len(s.data)+n]
+		if err != nil {
+			s.src = nil
+			if err != io.EOF {
+				s.srcErr = fmt.Errorf("soap: reading envelope: %w", err)
+			}
+		}
+		if n > 0 {
+			return true, nil
+		}
+	}
+	return false, s.srcErr
+}
+
+// compact slides the unconsumed window to the front of the buffer. Only
+// called between tokens (the previous token's name/attr values are
+// copied strings; its text bytes are dead by contract) and only in
+// stream mode, once the consumed prefix is worth reclaiming.
+func (s *scanner) compact() {
+	if s.src == nil || s.pos == 0 {
+		return
+	}
+	if s.pos == len(s.data) {
+		s.data = s.data[:0]
+		s.pos = 0
+		return
+	}
+	if s.pos >= compactThreshold || s.pos*2 >= cap(s.data) {
+		n := copy(s.data, s.data[s.pos:])
+		s.data = s.data[:n]
+		s.pos = 0
+	}
 }
 
 // internTable holds the names the XRPC envelope grammar uses with the
@@ -111,15 +192,31 @@ func (s *scanner) errf(format string, args ...any) error {
 // next advances to the next token. Iterative over skipped directives: a
 // run of millions of <!...> directives must not consume stack.
 func (s *scanner) next() (tokenKind, error) {
+	s.compact()
 	for {
-		if s.pos >= len(s.data) {
-			if s.depth > 0 {
-				return tokEOF, s.errf("%d unclosed element(s)", s.depth)
+		for s.pos >= len(s.data) {
+			ok, err := s.grow()
+			if err != nil {
+				return tokEOF, err
 			}
-			return tokEOF, nil
+			if !ok {
+				if s.depth > 0 {
+					return tokEOF, s.errf("%d unclosed element(s)", s.depth)
+				}
+				return tokEOF, nil
+			}
 		}
 		if s.data[s.pos] != '<' {
 			return s.scanText()
+		}
+		// Classifying a '<' needs up to len("<![CDATA[") bytes of
+		// lookahead; refill until they arrive or the input ends short.
+		for s.src != nil && s.pos+9 > len(s.data) {
+			if ok, err := s.grow(); err != nil {
+				return tokEOF, err
+			} else if !ok {
+				break
+			}
 		}
 		if s.pos+1 >= len(s.data) {
 			return tokEOF, s.errf("unexpected EOF after '<'")
@@ -129,10 +226,10 @@ func (s *scanner) next() (tokenKind, error) {
 			return s.scanEndTag()
 		case '!':
 			rest := s.data[s.pos:]
-			if bytes.HasPrefix(rest, []byte("<!--")) {
+			if bytes.HasPrefix(rest, markCommentStart) {
 				return s.scanComment()
 			}
-			if bytes.HasPrefix(rest, []byte("<![CDATA[")) {
+			if bytes.HasPrefix(rest, markCDATAStart) {
 				return s.scanCDATA()
 			}
 			// DOCTYPE and other directives: skip, like the reference
@@ -148,15 +245,34 @@ func (s *scanner) next() (tokenKind, error) {
 	}
 }
 
+var (
+	markCommentStart = []byte("<!--")
+	markCommentEnd   = []byte("-->")
+	markCDATAStart   = []byte("<![CDATA[")
+	markCDATAEnd     = []byte("]]>")
+	markPIEnd        = []byte("?>")
+)
+
 func (s *scanner) scanText() (tokenKind, error) {
-	end := bytes.IndexByte(s.data[s.pos:], '<')
-	if end < 0 {
-		end = len(s.data) - s.pos
+	from := s.pos
+	for {
+		if i := bytes.IndexByte(s.data[from:], '<'); i >= 0 {
+			end := from + i
+			s.text = s.data[s.pos:end]
+			s.cdata = false
+			s.pos = end
+			return tokText, nil
+		}
+		from = len(s.data)
+		if ok, err := s.grow(); err != nil {
+			return tokEOF, err
+		} else if !ok {
+			s.text = s.data[s.pos:]
+			s.cdata = false
+			s.pos = len(s.data)
+			return tokText, nil
+		}
 	}
-	s.text = s.data[s.pos : s.pos+end]
-	s.cdata = false
-	s.pos += end
-	return tokText, nil
 }
 
 func isNameByte(c byte) bool {
@@ -179,11 +295,65 @@ func skipWS(data []byte, i int) int {
 	return i
 }
 
+// nameEnd advances i past name bytes, refilling at the buffer edge.
+func (s *scanner) nameEnd(i int) (int, error) {
+	for {
+		for i < len(s.data) && isNameByte(s.data[i]) {
+			i++
+		}
+		if i < len(s.data) {
+			return i, nil
+		}
+		if ok, err := s.grow(); err != nil {
+			return i, err
+		} else if !ok {
+			return i, nil
+		}
+	}
+}
+
+// wsEnd advances i past whitespace, refilling at the buffer edge.
+func (s *scanner) wsEnd(i int) (int, error) {
+	for {
+		i = skipWS(s.data, i)
+		if i < len(s.data) {
+			return i, nil
+		}
+		if ok, err := s.grow(); err != nil {
+			return i, err
+		} else if !ok {
+			return i, nil
+		}
+	}
+}
+
+// find locates marker at or after start, refilling as needed; returns
+// -1 when the input ends first. The resume offset backs up
+// len(marker)-1 bytes so a marker split across reads is still found
+// without rescanning the whole window.
+func (s *scanner) find(start int, marker []byte) (int, error) {
+	from := start
+	for {
+		if i := bytes.Index(s.data[from:], marker); i >= 0 {
+			return from + i, nil
+		}
+		from = len(s.data) - len(marker) + 1
+		if from < start {
+			from = start
+		}
+		if ok, err := s.grow(); err != nil {
+			return -1, err
+		} else if !ok {
+			return -1, nil
+		}
+	}
+}
+
 func (s *scanner) scanStartTag() (tokenKind, error) {
-	i := s.pos + 1
-	start := i
-	for i < len(s.data) && isNameByte(s.data[i]) {
-		i++
+	start := s.pos + 1
+	i, err := s.nameEnd(start)
+	if err != nil {
+		return tokEOF, err
 	}
 	if i == start {
 		return tokEOF, s.errf("malformed start tag at offset %d", s.pos)
@@ -192,7 +362,9 @@ func (s *scanner) scanStartTag() (tokenKind, error) {
 	s.attrs = s.attrs[:0]
 	s.selfClose = false
 	for {
-		i = skipWS(s.data, i)
+		if i, err = s.wsEnd(i); err != nil {
+			return tokEOF, err
+		}
 		if i >= len(s.data) {
 			return tokEOF, s.errf("unterminated start tag <%s", s.name)
 		}
@@ -202,6 +374,13 @@ func (s *scanner) scanStartTag() (tokenKind, error) {
 			s.depth++
 			return tokStart, nil
 		case '/':
+			for i+1 >= len(s.data) {
+				if ok, err := s.grow(); err != nil {
+					return tokEOF, err
+				} else if !ok {
+					break
+				}
+			}
 			if i+1 >= len(s.data) || s.data[i+1] != '>' {
 				return tokEOF, s.errf("malformed element <%s", s.name)
 			}
@@ -210,29 +389,39 @@ func (s *scanner) scanStartTag() (tokenKind, error) {
 			return tokStart, nil
 		}
 		as := i
-		for i < len(s.data) && isNameByte(s.data[i]) {
-			i++
+		if i, err = s.nameEnd(i); err != nil {
+			return tokEOF, err
 		}
 		if i == as {
 			return tokEOF, s.errf("malformed attribute in <%s>", s.name)
 		}
 		aname := s.intern(s.data[as:i])
-		i = skipWS(s.data, i)
+		if i, err = s.wsEnd(i); err != nil {
+			return tokEOF, err
+		}
 		if i >= len(s.data) || s.data[i] != '=' {
 			return tokEOF, s.errf("attribute %s in <%s> has no value", aname, s.name)
 		}
-		i = skipWS(s.data, i+1)
+		if i, err = s.wsEnd(i + 1); err != nil {
+			return tokEOF, err
+		}
 		if i >= len(s.data) || (s.data[i] != '"' && s.data[i] != '\'') {
 			return tokEOF, s.errf("unquoted value for attribute %s in <%s>", aname, s.name)
 		}
 		quote := s.data[i]
 		i++
 		vs := i
-		for i < len(s.data) && s.data[i] != quote {
-			i++
-		}
-		if i >= len(s.data) {
-			return tokEOF, s.errf("unterminated value for attribute %s in <%s>", aname, s.name)
+		for {
+			if j := bytes.IndexByte(s.data[i:], quote); j >= 0 {
+				i += j
+				break
+			}
+			i = len(s.data)
+			if ok, err := s.grow(); err != nil {
+				return tokEOF, err
+			} else if !ok {
+				return tokEOF, s.errf("unterminated value for attribute %s in <%s>", aname, s.name)
+			}
 		}
 		val, err := s.attrValue(s.data[vs:i])
 		if err != nil {
@@ -260,16 +449,18 @@ func (s *scanner) attrValue(raw []byte) (string, error) {
 }
 
 func (s *scanner) scanEndTag() (tokenKind, error) {
-	i := s.pos + 2
-	start := i
-	for i < len(s.data) && isNameByte(s.data[i]) {
-		i++
+	start := s.pos + 2
+	i, err := s.nameEnd(start)
+	if err != nil {
+		return tokEOF, err
 	}
 	if i == start {
 		return tokEOF, s.errf("malformed end tag at offset %d", s.pos)
 	}
 	s.name = s.intern(s.data[start:i])
-	i = skipWS(s.data, i)
+	if i, err = s.wsEnd(i); err != nil {
+		return tokEOF, err
+	}
 	if i >= len(s.data) || s.data[i] != '>' {
 		return tokEOF, s.errf("malformed end tag </%s", s.name)
 	}
@@ -283,46 +474,68 @@ func (s *scanner) scanEndTag() (tokenKind, error) {
 
 func (s *scanner) scanComment() (tokenKind, error) {
 	start := s.pos + len("<!--")
-	end := bytes.Index(s.data[start:], []byte("-->"))
+	end, err := s.find(start, markCommentEnd)
+	if err != nil {
+		return tokEOF, err
+	}
 	if end < 0 {
 		return tokEOF, s.errf("unterminated comment")
 	}
-	s.text = s.data[start : start+end]
+	s.text = s.data[start:end]
 	s.cdata = true // comments get no entity expansion
-	s.pos = start + end + len("-->")
+	s.pos = end + len("-->")
 	return tokComment, nil
 }
 
 func (s *scanner) scanCDATA() (tokenKind, error) {
 	start := s.pos + len("<![CDATA[")
-	end := bytes.Index(s.data[start:], []byte("]]>"))
+	end, err := s.find(start, markCDATAEnd)
+	if err != nil {
+		return tokEOF, err
+	}
 	if end < 0 {
 		return tokEOF, s.errf("unterminated CDATA section")
 	}
-	s.text = s.data[start : start+end]
+	s.text = s.data[start:end]
 	s.cdata = true
-	s.pos = start + end + len("]]>")
+	s.pos = end + len("]]>")
 	return tokText, nil
 }
 
 func (s *scanner) scanPI() (tokenKind, error) {
-	i := s.pos + 2
-	start := i
-	for i < len(s.data) && isNameByte(s.data[i]) && s.data[i] != '?' {
-		i++
+	start := s.pos + 2
+	i := start
+	for {
+		for i < len(s.data) && isNameByte(s.data[i]) && s.data[i] != '?' {
+			i++
+		}
+		if i < len(s.data) {
+			break
+		}
+		if ok, err := s.grow(); err != nil {
+			return tokEOF, err
+		} else if !ok {
+			break
+		}
 	}
 	if i == start {
 		return tokEOF, s.errf("processing instruction without a target")
 	}
 	s.name = s.intern(s.data[start:i])
-	i = skipWS(s.data, i)
-	end := bytes.Index(s.data[i:], []byte("?>"))
+	var err error
+	if i, err = s.wsEnd(i); err != nil {
+		return tokEOF, err
+	}
+	end, err := s.find(i, markPIEnd)
+	if err != nil {
+		return tokEOF, err
+	}
 	if end < 0 {
 		return tokEOF, s.errf("unterminated processing instruction <?%s", s.name)
 	}
-	s.text = s.data[i : i+end]
+	s.text = s.data[i:end]
 	s.cdata = true
-	s.pos = i + end + len("?>")
+	s.pos = end + len("?>")
 	return tokPI, nil
 }
 
@@ -332,26 +545,32 @@ func (s *scanner) skipDirective() error {
 	i := s.pos + 2
 	bracket := 0
 	var quote byte
-	for i < len(s.data) {
-		c := s.data[i]
-		switch {
-		case quote != 0:
-			if c == quote {
-				quote = 0
+	for {
+		for i < len(s.data) {
+			c := s.data[i]
+			switch {
+			case quote != 0:
+				if c == quote {
+					quote = 0
+				}
+			case c == '"' || c == '\'':
+				quote = c
+			case c == '[':
+				bracket++
+			case c == ']':
+				bracket--
+			case c == '>' && bracket <= 0:
+				s.pos = i + 1
+				return nil
 			}
-		case c == '"' || c == '\'':
-			quote = c
-		case c == '[':
-			bracket++
-		case c == ']':
-			bracket--
-		case c == '>' && bracket <= 0:
-			s.pos = i + 1
-			return nil
+			i++
 		}
-		i++
+		if ok, err := s.grow(); err != nil {
+			return err
+		} else if !ok {
+			return s.errf("unterminated directive")
+		}
 	}
-	return s.errf("unterminated directive")
 }
 
 // maxInternedText bounds the text values worth interning: short values
