@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke memsmoke ci
+.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke memsmoke cachesmoke ci
 
 build:
 	$(GO) build ./...
@@ -62,4 +62,15 @@ memsmoke:
 	GOMEMLIMIT=64MiB XRPC_MEMSMOKE_BYTES=268435456 \
 		$(GO) test -run 'TestScatterStreamBoundedMemory' -v ./internal/cluster/
 
-ci: build vet race bench-smoke fuzz-smoke memsmoke
+# cachesmoke is the three-tier cache acceptance check: a deployment
+# with the shard response caches, the coordinator merged-result cache,
+# and the compiled-plan caches all enabled must serve warm hits on both
+# coordinator and shard tiers, and a routed single-shard 2PC commit
+# must invalidate exactly the touched shard's entries — with every
+# answer byte-identical to an unsharded single-peer execution. The full
+# sweep with latency columns: xrpcbench -table cache -cache-json
+# BENCH_cache.json.
+cachesmoke:
+	$(GO) test -run 'TestCacheSmoke' -v ./internal/cluster/
+
+ci: build vet race bench-smoke fuzz-smoke memsmoke cachesmoke

@@ -342,3 +342,40 @@ func BenchmarkClusterPrunedProbe_P4(b *testing.B) {
 		}
 	}
 }
+
+// runClusterCachedScatter benches the warm three-tier read path: the
+// deployment enables the shard response caches and the coordinator
+// merged-result cache, one untimed scatter populates them, and each
+// iteration is then a version-revalidated cache hit (one shardInfo
+// probe round, merged result from coordinator memory). Contrast with
+// BenchmarkClusterScatter_*, which re-executes every probe per
+// iteration.
+func runClusterCachedScatter(b *testing.B, peers int) {
+	b.Helper()
+	cfg := xmark.PaperConfig(0.1)
+	reg := modules.NewRegistry()
+	if err := reg.Register(strategies.FunctionsB, "http://example.org/b.xq"); err != nil {
+		b.Fatal(err)
+	}
+	net := netsim.NewNetwork(0, 0)
+	dep, err := cluster.Deploy(net, reg,
+		map[string]string{"auctions.xml": xmark.GenerateAuctions(cfg)},
+		cluster.DeployConfig{Shards: peers, RespCacheBytes: 32 << 20, ResultCacheBytes: 32 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := dep.Coordinator()
+	br := bench.ClusterProbeRequest(cfg)
+	if _, err := co.Scatter(br); err != nil { // populate every tier
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.Scatter(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterCachedScatter_P1(b *testing.B) { runClusterCachedScatter(b, 1) }
+func BenchmarkClusterCachedScatter_P4(b *testing.B) { runClusterCachedScatter(b, 4) }

@@ -10,6 +10,7 @@
 //	xrpcbench -table algebra     columnar vs row-store relational operators
 //	xrpcbench -table cluster     scatter-gather Bulk RPC over 1/2/4/8 shard peers
 //	xrpcbench -table cluster-update  routed vs broadcast writes, pruned vs full probes
+//	xrpcbench -table cache       three-tier cache: cold vs warm vs post-invalidation
 //	xrpcbench -table wire        SOAP encode/decode: streaming vs reference path
 //	xrpcbench -table all         everything
 //
@@ -20,7 +21,9 @@
 // writes the wire rows as a JSON snapshot (BENCH_wire.json);
 // -cluster-json writes the cluster experiments — the scatter-gather
 // sweep with its streamed-vs-buffered peak-heap columns and the
-// cluster-update rows — as one JSON snapshot (BENCH_cluster.json).
+// cluster-update rows — as one JSON snapshot (BENCH_cluster.json);
+// -cache-json writes the cache experiment rows as a JSON snapshot
+// (BENCH_cache.json).
 package main
 
 import (
@@ -38,7 +41,7 @@ import (
 
 func main() {
 	table := flag.String("table", "all",
-		"which experiment(s), comma-separated: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, cluster-update, wire, all")
+		"which experiment(s), comma-separated: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, cluster-update, cache, wire, all")
 	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
 	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
@@ -49,6 +52,7 @@ func main() {
 	useGzip := flag.Bool("gzip", false, "measure gzip content-coding sizes in the wire experiment")
 	wireJSON := flag.String("wire-json", "", "write the wire experiment rows to this file as JSON")
 	clusterJSON := flag.String("cluster-json", "", "write the cluster experiment rows (scatter sweep + cluster-update) to this file as JSON")
+	cacheJSON := flag.String("cache-json", "", "write the cache experiment rows to this file as JSON")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -116,11 +120,45 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *clusterJSON)
 	}
+	if all || selected["cache"] {
+		run("Three-tier cache (cold vs warm vs post-invalidation)", func() error {
+			return runCache(*scale, *rtt, *cacheJSON)
+		})
+	}
 	if all || selected["wire"] {
 		run("SOAP wire path (streaming vs reference)", func() error {
 			return runWire(*useGzip, *wireJSON)
 		})
 	}
+}
+
+// runCache sweeps the version-fenced cache tiers over 1/2/4/8 shard
+// peers: the same key-predicate probe bulk timed on a fresh deployment
+// (cold), repeated (warm: one shardInfo revalidation round, results
+// from coordinator memory), and right after a routed single-shard
+// commit (the fence redoes exactly the invalidated work). Every timed
+// response is byte-compared against an unsharded single-peer execution.
+func runCache(scale float64, rtt time.Duration, jsonPath string) error {
+	cfg := xmark.PaperConfig(scale)
+	fmt.Printf("XMark: %d persons; rtt %v, %d MB/s links\n",
+		cfg.Persons, rtt, bench.ClusterBandwidth/(1024*1024))
+	rows, err := bench.RunCacheBench(cfg, []int{1, 2, 4, 8}, rtt, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatCacheBench(rows))
+	fmt.Println("\nevery timed response (cold, warm, post-write) verified byte-identical to the unsharded single-peer baseline")
+	if jsonPath != "" {
+		data, err := bench.CacheSnapshotJSON(rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runClusterUpdate contrasts the range-aware cluster with its broadcast

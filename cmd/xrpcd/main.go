@@ -25,6 +25,12 @@
 //
 // Each comma-separated entry is one shard, in shard order; replicas of
 // a shard are separated by '|' (first entry is the primary).
+//
+// Version-fenced caching: -respcache N gives a peer an N MiB response
+// cache (read-only bulk calls outside an isolation scope are served
+// from cached result bytes until a commit steps the store version);
+// -resultcache N gives a proxy an N MiB merged-result cache (warm
+// requests revalidate with one shardInfo probe round per shard).
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"xrpc/internal/client"
 	"xrpc/internal/cluster"
 	"xrpc/internal/core"
+	"xrpc/internal/server"
 )
 
 func main() {
@@ -61,14 +68,24 @@ func main() {
 		"serve as a streaming scatter-gather proxy over these shard peers instead of a local peer: comma-separated xrpc:// URIs in shard order, '|'-separated replicas within a shard")
 	shardBuffer := flag.Int("shard-buffer", 0,
 		"proxy mode: per-shard read-ahead window in bytes of the streamed gather (0 = 1 MiB)")
+	respCacheMiB := flag.Int("respcache", 0,
+		"peer mode: version-fenced response cache size in MiB (0 = off); read-only bulk calls outside an isolation scope are answered from cached result bytes until a commit steps the store version")
+	resultCacheMiB := flag.Int("resultcache", 0,
+		"proxy mode: coordinator merged-result cache size in MiB (0 = off); warm requests revalidate with one shardInfo probe round per shard instead of re-executing")
 	flag.Parse()
 
 	if *proxyPeers != "" {
 		if *docsDir != "" || *modsDir != "" || *of != 0 || *shard != 0 {
 			log.Fatal("-proxy is exclusive with -docs/-modules/-shard/-of: the proxy serves the shard peers' documents, not its own")
 		}
-		runProxy(*addr, *proxyPeers, *rpcTimeout, *useGzip, *shardBuffer)
+		if *respCacheMiB != 0 {
+			log.Fatal("-respcache is a peer-mode flag; the proxy caches merged results with -resultcache")
+		}
+		runProxy(*addr, *proxyPeers, *rpcTimeout, *useGzip, *shardBuffer, *resultCacheMiB)
 		return
+	}
+	if *resultCacheMiB != 0 {
+		log.Fatal("-resultcache is a proxy-mode flag; a peer caches responses with -respcache")
 	}
 
 	if *of == 0 && *shard != 0 {
@@ -85,6 +102,10 @@ func main() {
 	peer := core.NewPeer(*self, transport)
 	peer.SetParallelism(*parallel)
 	peer.Server.Gzip = *useGzip
+	if *respCacheMiB > 0 {
+		peer.Server.RespCache = server.NewRespCache(int64(*respCacheMiB)<<20, 0)
+		log.Printf("response cache: %d MiB, version-fenced", *respCacheMiB)
+	}
 	if *of > 0 {
 		peer.Server.Shard, peer.Server.Shards = *shard, *of
 	}
@@ -136,7 +157,7 @@ func main() {
 // given shard peers: POST /xrpc scatters a bulk request to every shard
 // and streams the shard-order merge back to the client, chunk by
 // chunk, holding at most window bytes per shard.
-func runProxy(addr, peers string, rpcTimeout time.Duration, useGzip bool, shardBuffer int) {
+func runProxy(addr, peers string, rpcTimeout time.Duration, useGzip bool, shardBuffer, resultCacheMiB int) {
 	shards := strings.Split(peers, ",")
 	rt, err := cluster.NewRoutingTable(len(shards))
 	if err != nil {
@@ -157,6 +178,10 @@ func runProxy(addr, peers string, rpcTimeout time.Duration, useGzip bool, shardB
 	transport.Gzip = useGzip
 	co := cluster.NewCoordinator(rt, client.New(transport))
 	co.MaxShardBuffer = shardBuffer
+	if resultCacheMiB > 0 {
+		co.ResultCache = cluster.NewResultCache(int64(resultCacheMiB) << 20)
+		log.Printf("merged-result cache: %d MiB, version-vector fenced", resultCacheMiB)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/xrpc", &cluster.Proxy{Co: co})

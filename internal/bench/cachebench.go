@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"xrpc/internal/client"
+	"xrpc/internal/cluster"
+	"xrpc/internal/modules"
+	"xrpc/internal/netsim"
+	"xrpc/internal/xmark"
+)
+
+// CacheRow is one peer-count row of the caching experiment: the same
+// key-predicate probe bulk timed cold (fresh deployment, every tier
+// empty), warm (every tier populated, coordinator revalidates with one
+// shardInfo probe round), and immediately after a routed single-shard
+// commit (the version fence forces exactly the touched shard's work to
+// be redone).
+type CacheRow struct {
+	Peers int `json:"peers"`
+	// Millis per request, best of reps (cold is single-shot by nature).
+	ColdMillis      float64 `json:"cold_ms"`
+	WarmMillis      float64 `json:"warm_ms"`
+	PostWriteMillis float64 `json:"post_write_ms"`
+	// WarmSpeedup is cold/warm.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// Tier-2 coordinator cache counters after the row's runs.
+	ResultHits        int64 `json:"result_hits"`
+	ResultPartialHits int64 `json:"result_partial_hits"`
+	ResultMisses      int64 `json:"result_misses"`
+	// Tier-1 hit rate summed across shard response caches.
+	RespHits   int64 `json:"resp_hits"`
+	RespMisses int64 `json:"resp_misses"`
+	// Verified is set when every timed response (cold, warm, and
+	// post-write) was byte-compared against an unsharded single-peer
+	// execution of the same calls.
+	Verified bool `json:"verified"`
+}
+
+// newCacheEnv deploys a persons cluster with all cache tiers enabled.
+// Only the updating function is routed: reads broadcast to every shard,
+// so the coordinator retains per-shard results and a post-write request
+// refreshes just the shard the commit touched (a Tier-2 partial hit).
+func newCacheEnv(xml string, shards int, rtt time.Duration) (*clusterUpdateEnv, error) {
+	reg := modules.NewRegistry()
+	if err := reg.Register(FunctionsP, "http://example.org/p.xq"); err != nil {
+		return nil, err
+	}
+	net := netsim.NewNetwork(rtt, ClusterBandwidth)
+	dep, err := cluster.Deploy(net, reg, map[string]string{"persons.xml": xml}, cluster.DeployConfig{
+		Shards: shards,
+		Routes: []cluster.RouteSpec{{
+			ModuleURI: "functions_p", Func: "setCity", KeyArg: 0,
+			Doc: "persons.xml", Path: PersonsPath,
+		}},
+		RespCacheBytes:   32 << 20,
+		ResultCacheBytes: 32 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterUpdateEnv{net: net, dep: dep, co: dep.Coordinator()}, nil
+}
+
+// RunCacheBench sweeps the three-tier cache over the given peer counts.
+// Per peer count it deploys a fresh cached cluster and measures one
+// key-predicate probe bulk three ways:
+//
+//   - cold: the very first request — compiles plans, executes on every
+//     owning shard, populates all tiers (timed, then its bytes verified
+//     against the unsharded baseline);
+//   - warm: the same request repeated — the coordinator revalidates its
+//     merged entry with one shardInfo probe round and serves from
+//     memory (best of reps, every response verified);
+//   - post-write: a routed single-shard commit steps one shard's
+//     version; the next request re-executes only what the fence
+//     invalidated (verified against the post-write baseline).
+func RunCacheBench(cfg xmark.Config, peerCounts []int, rtt time.Duration, reps int) ([]CacheRow, error) {
+	if len(peerCounts) == 0 {
+		peerCounts = []int{1, 2, 4, 8}
+	}
+	if reps < 1 {
+		reps = 3
+	}
+	xml := xmark.GeneratePersons(cfg)
+	nKeys := 32
+	if cfg.Persons < nKeys {
+		nKeys = cfg.Persons
+	}
+	keys := personKeys(cfg.Persons, nKeys)
+	probe := probeRequestP(keys)
+	upd := updateRequestP(keys[:1], "Cachetown")
+
+	baseline, err := unshardedBaseline(xml, nil, probe, rtt)
+	if err != nil {
+		return nil, err
+	}
+	postBaseline, err := unshardedBaseline(xml, upd, probe, rtt)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []CacheRow
+	for _, peers := range peerCounts {
+		row, err := runCacheRow(xml, probe, upd, peers, rtt, reps, baseline, postBaseline)
+		if err != nil {
+			return nil, fmt.Errorf("cache bench peers=%d: %w", peers, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runCacheRow(xml string, probe, upd *client.BulkRequest, peers int, rtt time.Duration,
+	reps int, baseline, postBaseline []byte) (*CacheRow, error) {
+
+	env, err := newCacheEnv(xml, peers, rtt)
+	if err != nil {
+		return nil, err
+	}
+	// timedScatter times the scatter alone; the returned response is
+	// byte-verified against the baseline outside the timed region
+	timedScatter := func(label string, want []byte) (time.Duration, error) {
+		start := time.Now()
+		res, err := env.co.Scatter(probe)
+		if err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if !bytes.Equal(encodeClusterResults(probe, res), want) {
+			return 0, fmt.Errorf("%s response differs from unsharded baseline", label)
+		}
+		return d, nil
+	}
+
+	// cold is inherently single-shot: the first request on the fresh
+	// deployment compiles, executes, and populates every tier
+	cold, err := timedScatter("cold", baseline)
+	if err != nil {
+		return nil, err
+	}
+
+	// warm: every repetition must match the baseline; best of reps
+	var warm time.Duration
+	for r := 0; r < reps; r++ {
+		d, err := timedScatter("warm", baseline)
+		if err != nil {
+			return nil, err
+		}
+		if r == 0 || d < warm {
+			warm = d
+		}
+	}
+
+	// routed single-shard commit, then the post-invalidation request
+	if _, err := env.co.Update(upd); err != nil {
+		return nil, err
+	}
+	postWrite, err := timedScatter("post-write", postBaseline)
+	if err != nil {
+		return nil, err
+	}
+
+	// Tier-1 in isolation: a second coordinator (another API node, no
+	// merged-result cache of its own) broadcasts the same calls; every
+	// shard answers from its response cache without re-executing
+	fresh := cluster.NewCoordinator(env.dep.Table, client.New(env.net))
+	res, err := fresh.Scatter(probe)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(encodeClusterResults(probe, res), postBaseline) {
+		return nil, fmt.Errorf("tier-1 response differs from unsharded baseline")
+	}
+
+	row := &CacheRow{
+		Peers:           peers,
+		ColdMillis:      ms(cold),
+		WarmMillis:      ms(warm),
+		PostWriteMillis: ms(postWrite),
+		Verified:        true,
+	}
+	if warm > 0 {
+		row.WarmSpeedup = float64(cold) / float64(warm)
+	}
+	rc := env.co.ResultCache.Stats()
+	row.ResultHits, row.ResultPartialHits, row.ResultMisses = rc.Hits, rc.PartialHits, rc.Misses
+	for s := range env.dep.Servers {
+		for _, srv := range env.dep.Servers[s] {
+			st := srv.RespCache.Stats()
+			row.RespHits += st.Hits
+			row.RespMisses += st.Misses
+		}
+	}
+	return row, nil
+}
+
+// FormatCacheBench renders the sweep.
+func FormatCacheBench(rows []CacheRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-6s %10s %10s %10s %9s %16s %13s\n",
+		"peers", "cold ms", "warm ms", "postwr ms", "speedup", "t2 h/p/m", "t1 hit/miss")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6d %10.2f %10.2f %10.2f %8.1fx %10d/%d/%d %9d/%d\n",
+			r.Peers, r.ColdMillis, r.WarmMillis, r.PostWriteMillis, r.WarmSpeedup,
+			r.ResultHits, r.ResultPartialHits, r.ResultMisses, r.RespHits, r.RespMisses)
+	}
+	return b.String()
+}
+
+// CacheSnapshotJSON renders the committed BENCH_cache.json.
+func CacheSnapshotJSON(rows []CacheRow) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Experiment string     `json:"experiment"`
+		Rows       []CacheRow `json:"rows"`
+	}{
+		Experiment: "cache: cold vs warm vs post-invalidation, three version-fenced tiers",
+		Rows:       rows,
+	}, "", "  ")
+}

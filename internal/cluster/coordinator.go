@@ -89,6 +89,11 @@ type Coordinator struct {
 	MaxShardBuffer int
 	// OnEvict, when set, observes replica evictions (shard, uri, cause).
 	OnEvict func(shard int, uri string, reason error)
+	// ResultCache, when non-nil, serves repeat read-only scatters from
+	// the coordinator's merged-result cache, revalidated against each
+	// shard's commit-fence version via a shardInfo probe (see
+	// resultcache.go). Requests under a queryID bypass it.
+	ResultCache *ResultCache
 
 	mu     sync.RWMutex
 	routes []RouteSpec

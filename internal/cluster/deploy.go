@@ -30,6 +30,14 @@ type DeployConfig struct {
 	// deployment: the partition-key declarations that enable routed
 	// single-shard updates and predicate-pruned scatters.
 	Routes []RouteSpec
+	// RespCacheBytes, when > 0, enables each shard server's Tier-1
+	// response cache with this byte bound (RespCacheEntries optionally
+	// caps entry count).
+	RespCacheBytes   int64
+	RespCacheEntries int
+	// ResultCacheBytes, when > 0, attaches a Tier-2 merged-result cache
+	// of this byte bound to every coordinator built via Coordinator().
+	ResultCacheBytes int64
 }
 
 // Deployment is a set of shard peers registered on one netsim.Network,
@@ -44,6 +52,8 @@ type Deployment struct {
 	Stores  [][]*store.Store
 	// Routes are the partition-key declarations of the deployment.
 	Routes []RouteSpec
+
+	resultCacheBytes int64
 }
 
 // Deploy partitions every document in docs across cfg.Shards shard
@@ -106,6 +116,9 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 			srv.Self = uri
 			srv.Shard, srv.Shards = s, cfg.Shards
 			srv.ShardRanges = descriptors
+			if cfg.RespCacheBytes > 0 {
+				srv.RespCache = server.NewRespCache(cfg.RespCacheBytes, cfg.RespCacheEntries)
+			}
 			if cfg.Parallelism > 1 {
 				srv.SetParallelism(cfg.Parallelism)
 			}
@@ -118,6 +131,7 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 		}
 	}
 	dep.Routes = cfg.Routes
+	dep.resultCacheBytes = cfg.ResultCacheBytes
 	return dep, nil
 }
 
@@ -128,6 +142,9 @@ func (d *Deployment) Coordinator() *Coordinator {
 	co := NewCoordinator(d.Table, client.New(d.Net))
 	for _, r := range d.Routes {
 		co.Route(r)
+	}
+	if d.resultCacheBytes > 0 {
+		co.ResultCache = NewResultCache(d.resultCacheBytes)
 	}
 	return co
 }

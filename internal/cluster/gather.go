@@ -98,11 +98,12 @@ func closeShardStreams(conns []*shardStream) {
 // merged sequence, copies each shard's sequence for that call through
 // the item callback in ascending shard order, and closes it — then
 // Finishes every stream, which validates result counts and trailing
-// envelope content. Callbacks receive the merge incrementally, so the
-// caller chooses whether items accumulate (Scatter) or leave the
-// process immediately (ScatterStream).
+// envelope content. Callbacks receive the merge incrementally (item is
+// told which shard produced each item), so the caller chooses whether
+// items accumulate (Scatter, per-shard capture for the result cache) or
+// leave the process immediately (ScatterStream).
 func gatherStreams(conns []*shardStream, calls int,
-	begin func() error, item func(xdm.Item) error, end func() error) error {
+	begin func() error, item func(shard int, it xdm.Item) error, end func() error) error {
 
 	for i := 0; i < calls; i++ {
 		if err := begin(); err != nil {
@@ -124,7 +125,7 @@ func gatherStreams(conns []*shardStream, calls int,
 				if it == nil {
 					break
 				}
-				if err := item(it); err != nil {
+				if err := item(c.shard, it); err != nil {
 					return err
 				}
 			}
@@ -158,26 +159,59 @@ func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if err := co.validTable(); err != nil {
 		return nil, err
 	}
+	// requests outside an isolation scope can be answered from the
+	// merged-result cache, revalidated against the shards' commit-fence
+	// versions (see resultcache.go); queryID'd requests see their own
+	// pinned snapshots and bypass it
+	if co.ResultCache != nil && co.Client.QueryID == nil {
+		return co.scatterCached(br)
+	}
+	return co.scatterDirect(br)
+}
+
+// scatterDirect is the scatter proper, cache considerations aside.
+func (co *Coordinator) scatterDirect(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
 		return co.scatterPruned(br, spec)
 	}
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
-	conns, err := co.openShardStreams(enc.Bytes(), len(br.Calls))
+	merged, _, err := co.gatherCapture(enc.Bytes(), len(br.Calls), false)
+	return merged, err
+}
+
+// gatherCapture runs the streamed broadcast gather; with capture set it
+// additionally records each shard's own result sequences (the per-shard
+// split the result cache needs to refresh stale shards individually).
+func (co *Coordinator) gatherCapture(body []byte, calls int, capture bool) ([]xdm.Sequence, [][]xdm.Sequence, error) {
+	conns, err := co.openShardStreams(body, calls)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer closeShardStreams(conns)
-	merged := make([]xdm.Sequence, 0, len(br.Calls))
+	var perShard [][]xdm.Sequence
+	if capture {
+		perShard = make([][]xdm.Sequence, co.Table.NumShards())
+		for s := range perShard {
+			perShard[s] = make([]xdm.Sequence, calls)
+		}
+	}
+	merged := make([]xdm.Sequence, 0, calls)
 	var cur xdm.Sequence
-	err = gatherStreams(conns, len(br.Calls),
+	err = gatherStreams(conns, calls,
 		func() error { cur = nil; return nil },
-		func(it xdm.Item) error { cur = append(cur, it); return nil },
+		func(shard int, it xdm.Item) error {
+			cur = append(cur, it)
+			if capture {
+				perShard[shard][len(merged)] = append(perShard[shard][len(merged)], it)
+			}
+			return nil
+		},
 		func() error { merged = append(merged, cur); return nil })
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return merged, nil
+	return merged, perShard, nil
 }
 
 // ScatterStream runs the scatter with the merged response envelope
@@ -207,6 +241,21 @@ func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error 
 			Module: br.ModuleURI, Method: br.Func, Results: results,
 		})
 	}
+	// with the result cache on, answer through Scatter and encode the
+	// merged result — a hit streams straight from cached sequences with
+	// no shard round trip at all. The trade-off is deliberate: caching a
+	// result requires holding it, so the never-materialize guarantee of
+	// the pure streaming path applies only when ResultCache is nil (the
+	// default, and what the memory-bound smoke test exercises).
+	if co.ResultCache != nil && co.Client.QueryID == nil {
+		results, err := co.scatterCached(br)
+		if err != nil {
+			return err
+		}
+		return soap.EncodeResponseTo(w, &soap.Response{
+			Module: br.ModuleURI, Method: br.Func, Results: results,
+		})
+	}
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
 	conns, err := co.openShardStreams(enc.Bytes(), len(br.Calls))
@@ -219,7 +268,7 @@ func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error 
 	out.BeginResponse(br.ModuleURI, br.Func)
 	err = gatherStreams(conns, len(br.Calls),
 		func() error { out.BeginSequence(); return out.Err() },
-		func(it xdm.Item) error { out.EncodeItem(it); return out.Err() },
+		func(_ int, it xdm.Item) error { out.EncodeItem(it); return out.Err() },
 		func() error { out.EndSequence(); return out.Err() })
 	if err != nil {
 		return err

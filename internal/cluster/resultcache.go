@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xrpc/internal/cache"
+	"xrpc/internal/client"
+	"xrpc/internal/server"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+)
+
+// DefaultResultCacheBytes bounds the coordinator's merged-result cache
+// when enabled without an explicit size.
+const DefaultResultCacheBytes = 64 << 20
+
+// ResultCache is the Tier-2 coordinator cache: whole merged scatter
+// results keyed on the request's encoded call set and fenced on a
+// per-shard version vector. Revalidation is a shardInfo probe — one
+// tiny system call per shard instead of re-executing the query — and a
+// broadcast entry whose vector is partially stale refreshes only the
+// stale shards, splicing their fresh results into the retained ones.
+type ResultCache struct {
+	lru *cache.LRU
+
+	// Semantic counters (the LRU's own hit/miss counters track entry
+	// presence; these track what presence *meant*):
+	//   Hits          — entry present and every shard's version matched
+	//   PartialHits   — entry present, only the stale shards re-queried
+	//   Misses        — no entry (or an unrefreshable stale entry)
+	//   Revalidations — version probes performed
+	Hits, PartialHits, Misses, Revalidations atomic.Int64
+}
+
+// ResultCacheStats is a point-in-time snapshot of a ResultCache.
+type ResultCacheStats struct {
+	Hits, PartialHits, Misses, Revalidations int64
+	Entries                                  int
+	Bytes                                    int64
+}
+
+// NewResultCache builds a merged-result cache bounded by maxBytes
+// (0 = DefaultResultCacheBytes) of estimated result size.
+func NewResultCache(maxBytes int64) *ResultCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultResultCacheBytes
+	}
+	return &ResultCache{lru: cache.New(maxBytes, 0)}
+}
+
+// Stats snapshots the counters and current size.
+func (rc *ResultCache) Stats() ResultCacheStats {
+	st := rc.lru.Stats()
+	return ResultCacheStats{
+		Hits:          rc.Hits.Load(),
+		PartialHits:   rc.PartialHits.Load(),
+		Misses:        rc.Misses.Load(),
+		Revalidations: rc.Revalidations.Load(),
+		Entries:       st.Entries,
+		Bytes:         st.Bytes,
+	}
+}
+
+// Clear drops every entry (counters are preserved).
+func (rc *ResultCache) Clear() { rc.lru.Clear() }
+
+// resultEntry is one cached merged result.
+type resultEntry struct {
+	// versions[s] is shard s's commit-fence version the entry is valid
+	// at (probed around population, stored for every shard).
+	versions []int64
+	// perShard[s][i] is shard s's own result for call i — retained for
+	// broadcast scatters so a partially-stale entry can refresh just
+	// the stale shards. nil for pruned scatters (their per-call shard
+	// subsets don't decompose this way); those entries are all-or-
+	// nothing.
+	perShard [][]xdm.Sequence
+	// merged is the full shard-order merge — what a hit returns.
+	merged []xdm.Sequence
+}
+
+// clipped returns the merged result with every slice's capacity clipped
+// to its length, so a caller appending to a returned sequence reallocates
+// instead of scribbling over the cached backing array.
+func (e *resultEntry) clipped() []xdm.Sequence {
+	out := make([]xdm.Sequence, len(e.merged))
+	for i, seq := range e.merged {
+		out[i] = seq[:len(seq):len(seq)]
+	}
+	return out
+}
+
+// estimateSize prices a merged result for the byte bound: the encoded
+// envelope size of each sequence, measured with the same pooled encoder
+// the response path uses.
+func estimateSize(key string, merged []xdm.Sequence) int64 {
+	enc := soap.NewEncoder()
+	defer enc.Release()
+	for _, seq := range merged {
+		enc.BeginSequence()
+		for _, it := range seq {
+			enc.EncodeItem(it)
+		}
+		enc.EndSequence()
+	}
+	return int64(len(key) + len(enc.Bytes()))
+}
+
+// probeVersions asks every shard for its commit-fence version via the
+// shardInfo system call (encode once, post to each shard with replica
+// failover). An error — or a shard that does not report a version item,
+// e.g. a peer predating the fence — disables caching for this request.
+func (co *Coordinator) probeVersions() ([]int64, error) {
+	enc := co.Client.EncodeBulk(&client.BulkRequest{
+		ModuleURI: client.SystemModule,
+		Func:      "shardInfo",
+		Arity:     0,
+		Calls:     [][]xdm.Sequence{{}},
+	})
+	defer enc.Release()
+	body := enc.Bytes()
+	n := co.Table.NumShards()
+	versions := make([]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			res, err := co.callShard(s, body, 1)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for _, it := range res[0] {
+				if v, ok := server.ParseVersionItem(it.StringValue()); ok {
+					versions[s] = v
+					return
+				}
+			}
+			errs[s] = xdm.Errorf("XRPC0007", "shard %d reports no version item", s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return versions, nil
+}
+
+func sameVersions(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scatterCached answers a read-only scatter through the merged-result
+// cache. The key is the request's destination-independent encoded body
+// (encode-once scatter-many makes this deterministic); freshness is the
+// per-shard version vector. Any probe failure falls back to plain
+// execution with caching off — stale is never served.
+func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, error) {
+	rc := co.ResultCache
+	enc := co.Client.EncodeBulk(br)
+	defer enc.Release()
+	body := enc.Bytes()
+	key := string(body)
+
+	spec := co.routeFor(br)
+	pruned := spec != nil && co.Table.Prunable(spec.Doc, spec.Path)
+
+	if v, _, ok := rc.lru.GetAny(key); ok {
+		entry := v.(*resultEntry)
+		rc.Revalidations.Add(1)
+		probed, err := co.probeVersions()
+		switch {
+		case err != nil:
+			// a shard we can't probe is a shard we can't trust the
+			// entry against: execute directly, don't populate
+			rc.Misses.Add(1)
+			return co.scatterDirect(br)
+		case sameVersions(entry.versions, probed):
+			rc.Hits.Add(1)
+			return entry.clipped(), nil
+		case entry.perShard != nil:
+			// broadcast entry, some shards moved on: re-query only
+			// those, splice, and re-store under the probed vector.
+			// A commit landing between probe and refresh tags the
+			// fresher data with the older probed version — the safe
+			// direction (one extra refresh later, never a stale serve).
+			merged, err := co.refreshStale(br, body, entry, probed)
+			if err != nil {
+				return nil, err
+			}
+			rc.PartialHits.Add(1)
+			return merged, nil
+		default:
+			// pruned entry: no per-shard split to refresh from
+			rc.lru.Remove(key)
+		}
+	}
+
+	rc.Misses.Add(1)
+	// populate guard: probe before and after execution and store only
+	// when the vectors agree — a commit landing mid-scatter could
+	// otherwise tag mixed-version results as clean
+	pre, preErr := co.probeVersions()
+	var merged []xdm.Sequence
+	var perShard [][]xdm.Sequence
+	var err error
+	if pruned {
+		merged, err = co.scatterPruned(br, spec)
+	} else {
+		merged, perShard, err = co.gatherCapture(body, len(br.Calls), preErr == nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if preErr == nil {
+		if post, err := co.probeVersions(); err == nil && sameVersions(pre, post) {
+			entry := &resultEntry{versions: pre, perShard: perShard, merged: merged}
+			rc.lru.Put(key, entry, estimateSize(key, merged), 0)
+			return entry.clipped(), nil
+		}
+	}
+	return merged, nil
+}
+
+// refreshStale re-queries exactly the shards whose probed version
+// differs from the entry's, rebuilds the merge from retained + fresh
+// per-shard results, and re-stores the entry under the probed vector.
+func (co *Coordinator) refreshStale(br *client.BulkRequest, body []byte, entry *resultEntry, probed []int64) ([]xdm.Sequence, error) {
+	n := co.Table.NumShards()
+	if len(entry.versions) != n || len(entry.perShard) != n {
+		// table resized since population: the entry's shard split no
+		// longer lines up — full re-execute
+		return co.scatterDirect(br)
+	}
+	fresh := make([][]xdm.Sequence, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		if probed[s] == entry.versions[s] {
+			fresh[s] = entry.perShard[s]
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fresh[s], errs[s] = co.callShard(s, body, len(br.Calls))
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, xdm.Errorf("XRPC0007", "cluster: shard %d: %v", s, err)
+		}
+	}
+	merged := make([]xdm.Sequence, len(br.Calls))
+	for i := range merged {
+		var seq xdm.Sequence
+		for s := 0; s < n; s++ {
+			seq = append(seq, fresh[s][i]...)
+		}
+		merged[i] = seq
+	}
+	next := &resultEntry{
+		versions: append([]int64(nil), probed...),
+		perShard: fresh,
+		merged:   merged,
+	}
+	key := string(body)
+	co.ResultCache.lru.Put(key, next, estimateSize(key, merged), 0)
+	return next.clipped(), nil
+}

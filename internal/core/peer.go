@@ -57,6 +57,9 @@ type Peer struct {
 	// DefaultTimeout is the isolation timeout (seconds) when the query
 	// does not declare xrpc:timeout.
 	DefaultTimeout int
+	// Plans caches loop-lifted query compilations keyed on normalized
+	// query text (nil = compile every query). NewPeer enables it.
+	Plans *pathfinder.PlanCache
 
 	exec *server.NativeExecutor
 }
@@ -76,8 +79,13 @@ func NewPeer(self string, transport netsim.Transport) *Peer {
 		Server:         srv,
 		Transport:      transport,
 		DefaultTimeout: 30,
+		Plans:          pathfinder.NewPlanCache(reg),
 		exec:           exec,
 	}
+	// a module re-registration invalidates exactly the plans that
+	// depend on it (the query plan cache fences itself on the registry
+	// generation instead)
+	reg.OnUpdate(exec.InvalidateModule)
 	srv.NewRPC = func(qid *soap.QueryID) (interp.RPCCaller, func() []string) {
 		if transport == nil {
 			return nil, func() []string { return nil }
@@ -216,7 +224,11 @@ func (p *Peer) QueryWithVars(q string, vars map[string]xdm.Sequence) (*Result, e
 			})
 		} else {
 			var pfc *pathfinder.Compiled
-			pfc, err = pathfinder.Compile(q, p.Registry)
+			if p.Plans != nil {
+				pfc, err = p.Plans.Compile(q)
+			} else {
+				pfc, err = pathfinder.Compile(q, p.Registry)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -124,6 +124,23 @@ type Compiled struct {
 // Module returns the parsed main module.
 func (c *Compiled) Module() *xq.Module { return c.main }
 
+// ModuleURIs lists the namespace URIs this compilation depends on: the
+// main module's own URI (when it is a library) plus every transitively
+// imported module. A plan cache uses this as the invalidation set —
+// re-registering any of these modules makes the plan stale.
+func (c *Compiled) ModuleURIs() []string {
+	uris := make([]string, 0, len(c.modules)+1)
+	if c.main.IsLibrary && c.main.ModuleURI != "" {
+		uris = append(uris, c.main.ModuleURI)
+	}
+	for uri := range c.modules {
+		if uri != c.main.ModuleURI {
+			uris = append(uris, uri)
+		}
+	}
+	return uris
+}
+
 // Option returns a declared prolog option value ("" when absent).
 func (c *Compiled) Option(name string) string { return c.main.Options[name] }
 

@@ -8,15 +8,18 @@ package modules
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xrpc/internal/xq"
 )
 
 // Registry resolves module imports to parsed library modules.
 type Registry struct {
-	mu     sync.RWMutex
-	byURI  map[string]*entry
-	byHint map[string]*entry
+	mu       sync.RWMutex
+	byURI    map[string]*entry
+	byHint   map[string]*entry
+	gen      atomic.Int64
+	onUpdate []func(uri string)
 }
 
 type entry struct {
@@ -41,12 +44,34 @@ func (r *Registry) Register(source string, hints ...string) error {
 	}
 	e := &entry{source: source, parsed: m}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.byURI[m.ModuleURI] = e
 	for _, h := range hints {
 		r.byHint[h] = e
 	}
+	callbacks := r.onUpdate
+	r.mu.Unlock()
+	// every (re-)registration can change semantics without any store
+	// write, so it must advance the generation that fences plan and
+	// response caches
+	r.gen.Add(1)
+	for _, fn := range callbacks {
+		fn(m.ModuleURI)
+	}
 	return nil
+}
+
+// Generation returns a counter that advances on every Register call.
+// Caches keyed on module content include it in their fence: a store
+// version alone cannot see module re-registration.
+func (r *Registry) Generation() int64 { return r.gen.Load() }
+
+// OnUpdate registers a callback invoked (outside the registry lock)
+// with the module URI after each successful Register — the hook that
+// lets an executor invalidate just the plans depending on that module.
+func (r *Registry) OnUpdate(fn func(uri string)) {
+	r.mu.Lock()
+	r.onUpdate = append(r.onUpdate, fn)
+	r.mu.Unlock()
 }
 
 // ResolveModule implements interp.ModuleResolver: lookup by namespace

@@ -1,0 +1,69 @@
+package pathfinder
+
+import (
+	"sync/atomic"
+
+	"xrpc/internal/cache"
+	"xrpc/internal/modules"
+	"xrpc/internal/xq"
+)
+
+// Plan cache bounds (source length is the size proxy, as in the
+// server-side function cache).
+const (
+	DefaultPlanCacheBytes   = 16 << 20
+	DefaultPlanCacheEntries = 1024
+)
+
+// PlanCache memoizes loop-lifted compilations keyed on normalized query
+// text (xq.Normalize): two query texts differing only in layout or
+// comments share one compiled plan. Compiled plans are immutable and
+// safe for concurrent Eval, so sharing is free.
+//
+// The fence is the registry generation: query plans close over imported
+// module definitions, and this compiler has no per-plan dependency
+// record, so any module (re-)registration conservatively invalidates
+// every cached query plan. (Granular per-module invalidation lives in
+// the server executor, which compiles modules one at a time.)
+type PlanCache struct {
+	reg          *modules.Registry
+	lru          *cache.LRU
+	Hits, Misses atomic.Int64
+}
+
+// NewPlanCache builds a plan cache over a registry with the default
+// bounds.
+func NewPlanCache(reg *modules.Registry) *PlanCache {
+	return &PlanCache{reg: reg, lru: cache.New(DefaultPlanCacheBytes, DefaultPlanCacheEntries)}
+}
+
+// Compile returns the cached plan for a query text, compiling on miss.
+// Always compiles from the original source; the normalized text is only
+// the key.
+func (pc *PlanCache) Compile(src string) (*Compiled, error) {
+	var gen int64
+	if pc.reg != nil {
+		gen = pc.reg.Generation()
+	}
+	key := xq.Normalize(src)
+	if c, ok := pc.lru.Get(key, gen); ok {
+		pc.Hits.Add(1)
+		return c.(*Compiled), nil
+	}
+	c, err := Compile(src, pc.reg)
+	if err != nil {
+		return nil, err
+	}
+	pc.Misses.Add(1)
+	pc.lru.Put(key, c, int64(len(src)), gen)
+	return c, nil
+}
+
+// Stats snapshots the cache (hits/misses are PlanCache-level; entries/
+// bytes and evictions come from the underlying LRU).
+func (pc *PlanCache) Stats() cache.Stats {
+	st := pc.lru.Stats()
+	st.Hits = pc.Hits.Load()
+	st.Misses = pc.Misses.Load()
+	return st
+}

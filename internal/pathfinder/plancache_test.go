@@ -1,0 +1,89 @@
+package pathfinder
+
+import (
+	"testing"
+
+	"xrpc/internal/modules"
+	"xrpc/internal/xdm"
+)
+
+func TestPlanCacheSharesNormalizedVariants(t *testing.T) {
+	pc := NewPlanCache(modules.NewRegistry())
+	variants := []string{
+		"for $i in (1,2,3) return $i + 1",
+		"for $i in (1,2,3)\n  return $i + 1",
+		"for $i in (1,2,3) (: same plan :) return $i + 1",
+	}
+	var want string
+	for i, src := range variants {
+		c, err := pc.Compile(src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		seq, err := c.Eval(&ExecCtx{}, nil)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		got := xdm.SerializeSequence(seq)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("variant %d = %q; want %q", i, got, want)
+		}
+	}
+	if h, m := pc.Hits.Load(), pc.Misses.Load(); h != 2 || m != 1 {
+		t.Fatalf("hits=%d misses=%d; want layout variants to share one plan", h, m)
+	}
+}
+
+func TestPlanCacheDistinguishesDifferentQueries(t *testing.T) {
+	pc := NewPlanCache(modules.NewRegistry())
+	if _, err := pc.Compile("1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Compile("1 + 2"); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := pc.Hits.Load(), pc.Misses.Load(); h != 0 || m != 2 {
+		t.Fatalf("hits=%d misses=%d; distinct queries must not share", h, m)
+	}
+}
+
+func TestPlanCacheInvalidatesOnRegistration(t *testing.T) {
+	reg := modules.NewRegistry()
+	pc := NewPlanCache(reg)
+	if _, err := pc.Compile("1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Compile("1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if h := pc.Hits.Load(); h != 1 {
+		t.Fatalf("hits=%d; want a warm hit before registration", h)
+	}
+	// any module registration steps the generation and conservatively
+	// invalidates every cached query plan
+	if err := reg.Register(`module namespace m="m"; declare function m:f() { 1 };`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Compile("1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := pc.Hits.Load(), pc.Misses.Load(); h != 1 || m != 2 {
+		t.Fatalf("hits=%d misses=%d; registration must invalidate query plans", h, m)
+	}
+}
+
+func BenchmarkPlanCacheHit(b *testing.B) {
+	pc := NewPlanCache(modules.NewRegistry())
+	const src = "for $i in (1,2,3)\n  return $i + 1"
+	if _, err := pc.Compile(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pc.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

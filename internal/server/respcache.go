@@ -1,0 +1,218 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"xrpc/internal/cache"
+	"xrpc/internal/interp"
+	"xrpc/internal/soap"
+	"xrpc/internal/xdm"
+)
+
+// versionPrefix tags the commit-fence version item appended to the
+// shardInfo response. It deliberately does not parse as a KeyRange
+// descriptor (those are quoted-prefix forms), so pre-existing shardInfo
+// consumers skip it.
+const versionPrefix = "version="
+
+// VersionItem renders a store version as its shardInfo metadata item.
+func VersionItem(v int64) string {
+	return versionPrefix + strconv.FormatInt(v, 10)
+}
+
+// ParseVersionItem recognizes a shardInfo version item, returning the
+// version it carries. The coordinator's merged-result cache uses this
+// to revalidate a cached entry with one cheap shardInfo round instead
+// of re-executing the query.
+func ParseVersionItem(s string) (int64, bool) {
+	if !strings.HasPrefix(s, versionPrefix) {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s[len(versionPrefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// DefaultRespCacheBytes bounds the per-shard response cache when a
+// caller enables it without choosing a size.
+const DefaultRespCacheBytes = 32 << 20
+
+// RespCache is the Tier-1 per-shard response cache: each call of a
+// read-only bulk request maps to one entry whose key is
+// (registry generation, moduleURI, method, canonical argument bytes)
+// and whose value is the call's result already serialized as the
+// encoder's <xrpc:sequence> bytes — a warm hit skips execution AND
+// re-serialization, splicing the stored bytes into the envelope via
+// Response.Raw.
+//
+// The fence is the snapshot's store.Version: every commit (2PC apply,
+// PUL adopt, direct R_Fu apply) advances it by exactly one step, so the
+// first post-commit lookup evicts exactly the stale entries and
+// repopulates from fresh execution. Entries are LRU-bounded by bytes
+// and count.
+type RespCache struct {
+	lru *cache.LRU
+}
+
+// NewRespCache builds a response cache bounded by maxBytes (0 =
+// DefaultRespCacheBytes) and maxEntries (0 = unbounded count).
+func NewRespCache(maxBytes int64, maxEntries int) *RespCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultRespCacheBytes
+	}
+	return &RespCache{lru: cache.New(maxBytes, maxEntries)}
+}
+
+// Stats snapshots hit/miss/eviction counters and current size.
+func (rc *RespCache) Stats() cache.Stats { return rc.lru.Stats() }
+
+// Clear drops every entry (counters are preserved).
+func (rc *RespCache) Clear() { rc.lru.Clear() }
+
+// respKey renders one call's cache key. The arguments are serialized
+// with the same pooled encoder the response path uses, so two calls
+// have equal keys exactly when the wire form of their arguments is
+// identical. The registry generation is part of the key (module
+// re-registration changes semantics without a store write); the store
+// version is the LRU's fence tag, not part of the key.
+func respKey(gen int64, module, method string, args []xdm.Sequence) string {
+	enc := soap.NewEncoder()
+	defer enc.Release()
+	for _, seq := range args {
+		enc.BeginSequence()
+		for _, it := range seq {
+			enc.EncodeItem(it)
+		}
+		enc.EndSequence()
+	}
+	key := make([]byte, 0, len(module)+len(method)+len(enc.Bytes())+24)
+	key = strconv.AppendInt(key, gen, 10)
+	key = append(key, 0)
+	key = append(key, module...)
+	key = append(key, 0)
+	key = append(key, method...)
+	key = append(key, 0)
+	key = append(key, enc.Bytes()...)
+	return string(key)
+}
+
+// countingRPC wraps the per-request nested-call client so the cache can
+// tell whether execution left this peer: results that depended on a
+// nested RPC are not a pure function of local state and version, so
+// they are never cached.
+type countingRPC struct {
+	rpc  interp.RPCCaller
+	used atomic.Bool
+}
+
+func (c *countingRPC) Call(dest string, req *interp.CallRequest) (xdm.Sequence, error) {
+	c.used.Store(true)
+	return c.rpc.Call(dest, req)
+}
+
+// handleCached serves a no-queryID request through the response cache:
+// hits are answered from stored bytes, misses execute against a pinned
+// snapshot and populate. Mixed requests execute only the missing calls.
+func (s *Server) handleCached(req *soap.Request, body []byte) (*soap.Response, error) {
+	// the snapshot pins both the data and the version the served (and
+	// populated) results are valid at; a commit landing mid-request
+	// steps the live version but not this snapshot, so entries written
+	// under ver stay consistent with the data they were computed from
+	snap := s.Store.Snapshot()
+	ver := snap.Version()
+	var gen int64
+	if s.Registry != nil {
+		gen = s.Registry.Generation()
+	}
+
+	raw := make([][]byte, len(req.Calls))
+	var missing []int
+	for ci, call := range req.Calls {
+		if v, ok := s.RespCache.lru.Get(respKey(gen, req.Module, req.Method, call), ver); ok {
+			raw[ci] = v.([]byte)
+		} else {
+			missing = append(missing, ci)
+		}
+	}
+	if len(missing) == 0 {
+		return &soap.Response{Module: req.Module, Method: req.Method, Raw: raw}, nil
+	}
+
+	// execute only the cache-missing calls, as one sub-request
+	sub := *req
+	if len(missing) < len(req.Calls) {
+		sub.Calls = make([][]xdm.Sequence, len(missing))
+		for i, ci := range missing {
+			sub.Calls[i] = req.Calls[ci]
+		}
+		if req.SeqNrs != nil {
+			sub.SeqNrs = make([]int64, len(missing))
+			for i, ci := range missing {
+				sub.SeqNrs[i] = req.SeqNrs[ci]
+			}
+		}
+	}
+
+	var rpc interp.RPCCaller
+	var counter *countingRPC
+	peers := func() []string { return nil }
+	if s.NewRPC != nil {
+		rpc, peers = s.NewRPC(req.QueryID)
+		if rpc != nil {
+			counter = &countingRPC{rpc: rpc}
+			rpc = counter
+		}
+	}
+
+	results, pul, stats, err := s.Exec.Execute(&sub, body, snap, rpc)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		s.mu.Lock()
+		s.LastStats = *stats
+		s.mu.Unlock()
+	}
+	if !pul.Empty() {
+		// immediate application (R_Fu); the PUL was collected against
+		// the pinned snapshot, exactly like the uncached path collects
+		// against pre-request state
+		if err := interp.ApplyUpdates(s.Store, pul); err != nil {
+			return nil, err
+		}
+	}
+	peerList := peers()
+
+	// a result is cacheable only when it is a pure function of
+	// (module generation, local data at ver, arguments): no pending
+	// updates, no nested RPC, no participating-peers piggyback
+	populate := pul.Empty() && (counter == nil || !counter.used.Load()) && len(peerList) == 0
+
+	resp := &soap.Response{Module: req.Module, Method: req.Method, Raw: raw, Peers: peerList}
+	for i, ci := range missing {
+		b := encodeSequence(results[i])
+		resp.Raw[ci] = b
+		if populate {
+			key := respKey(gen, req.Module, req.Method, req.Calls[ci])
+			s.RespCache.lru.Put(key, b, int64(len(key)+len(b)), ver)
+		}
+	}
+	return resp, nil
+}
+
+// encodeSequence renders one result sequence exactly as the response
+// encoder would — the bytes RawSequence later splices back verbatim.
+func encodeSequence(seq xdm.Sequence) []byte {
+	enc := soap.NewEncoder()
+	defer enc.Release()
+	enc.BeginSequence()
+	for _, it := range seq {
+		enc.EncodeItem(it)
+	}
+	enc.EndSequence()
+	return enc.Copy()
+}

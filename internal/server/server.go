@@ -86,6 +86,12 @@ type Server struct {
 	// amplification: a small gzip body may expand ~1000x, and without a
 	// bound io.ReadAll would materialize all of it.
 	MaxRequestBytes int64
+	// RespCache, when non-nil, serves repeat read-only traffic from the
+	// per-shard response cache (see respcache.go). Only meaningful for
+	// executors that ignore the raw request bytes (NativeExecutor):
+	// cache-missing calls are re-executed as a sub-request whose body
+	// no longer matches the original envelope.
+	RespCache *RespCache
 	// Now is the clock (replaceable in tests).
 	Now func() time.Time
 
@@ -282,6 +288,14 @@ func (s *Server) handle(body []byte) (*soap.Response, error) {
 		return s.handleSystem(req)
 	}
 
+	// requests outside an isolation scope can be answered from the
+	// version-fenced response cache; queryID'd requests pin their own
+	// snapshot and bypass it (their repeatable-read state is per-query,
+	// not per-version)
+	if s.RespCache != nil && req.QueryID == nil {
+		return s.handleCached(req, body)
+	}
+
 	// pick the database state: latest (rule R_Fr) or the queryID's
 	// pinned snapshot (rule R'_Fr)
 	var docs interp.DocResolver = s.Store
@@ -371,6 +385,23 @@ func (s *Server) handleSystem(req *soap.Request) (*soap.Response, error) {
 		}
 		for _, r := range s.ShardRanges {
 			seq = append(seq, xdm.String(r))
+		}
+		// trailing metadata items (appended last so older consumers,
+		// which parse only the leading slots and range descriptors,
+		// skip them): the commit-fence version — the coordinator's
+		// cheap revalidation probe — and cache counters
+		seq = append(seq, xdm.String(VersionItem(s.Store.Version())))
+		if s.RespCache != nil {
+			st := s.RespCache.Stats()
+			seq = append(seq, xdm.String(fmt.Sprintf(
+				"respcache=hits:%d misses:%d evictions:%d entries:%d bytes:%d",
+				st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)))
+		}
+		if x, ok := s.Exec.(*NativeExecutor); ok {
+			st := x.PlanCacheStats()
+			seq = append(seq, xdm.String(fmt.Sprintf(
+				"plancache=hits:%d misses:%d evictions:%d entries:%d bytes:%d",
+				st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)))
 		}
 		return &soap.Response{
 			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},

@@ -270,8 +270,16 @@ func (e *Encoder) EncodeRequest(r *Request) {
 // construction.
 func (e *Encoder) EncodeResponse(r *Response) {
 	e.BeginResponse(r.Module, r.Method)
-	for _, seq := range r.Results {
-		e.sequence(seq)
+	n := len(r.Results)
+	if len(r.Raw) > n {
+		n = len(r.Raw)
+	}
+	for i := 0; i < n; i++ {
+		if i < len(r.Raw) && r.Raw[i] != nil {
+			e.RawSequence(r.Raw[i])
+		} else {
+			e.sequence(r.Results[i])
+		}
 	}
 	e.EndResponse(r.Peers)
 }
@@ -295,6 +303,14 @@ func (e *Encoder) EncodeItem(it xdm.Item) { e.item(it) }
 
 // EndSequence closes the open result sequence.
 func (e *Encoder) EndSequence() { e.str("</xrpc:sequence>\n") }
+
+// RawSequence splices a pre-serialized result sequence — bytes
+// previously produced by BeginSequence/EncodeItem/EndSequence — into
+// the envelope verbatim (the cache-hit fast path).
+func (e *Encoder) RawSequence(b []byte) {
+	e.buf = append(e.buf, b...)
+	e.maybeFlush()
+}
 
 // EndResponse closes the response envelope, appending the
 // participatingPeers block when peers is non-empty.

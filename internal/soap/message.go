@@ -76,6 +76,13 @@ type Response struct {
 	Method  string
 	Results []xdm.Sequence
 	Peers   []string
+	// Raw optionally carries pre-serialized result sequences: when
+	// Raw[i] is non-nil it is spliced into the envelope verbatim in
+	// place of Results[i] (it must be exactly the bytes the encoder
+	// would produce for that sequence: "<xrpc:sequence>…</xrpc:sequence>\n").
+	// The per-shard response cache stores results in this form so a
+	// warm hit skips both execution and re-serialization.
+	Raw [][]byte
 }
 
 // Fault is a SOAP Fault message; it doubles as the Go error type for

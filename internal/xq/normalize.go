@@ -1,0 +1,132 @@
+package xq
+
+import "strings"
+
+// Normalize canonicalizes XQuery source for use as a cache key: runs of
+// whitespace collapse to a single space, (: ... :) comments (nested,
+// per the lexer) are replaced by a single separator space, and leading/
+// trailing separators are trimmed — so two modules that differ only in
+// layout or commentary share one compiled plan.
+//
+// The result is a KEY, never compiled itself — compilation always uses
+// the original source. That asymmetry sets the safety bar: Normalize
+// may keep semantically-equal texts distinct (a missed sharing
+// opportunity), but must never map semantically-different texts to one
+// key. Two regions are therefore copied verbatim, mirroring the lexer:
+//
+//   - string literals ("..." / '...', doubled-quote escapes): their
+//     content is significant, including whitespace and "(:";
+//   - everything from the first '<' that opens a direct element
+//     constructor (or "<!"/"<?") to the end of the source: constructor
+//     content is raw-character-significant (the parser reads raw
+//     characters there, and "(:...:)" inside it is literal text), and
+//     the lexer itself only distinguishes less-than from constructor by
+//     grammar position, which a flat scan cannot reproduce.
+func Normalize(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	pending := false // a separator is owed before the next emitted byte
+	var last byte
+	// sep settles an owed separator before emitting a byte starting
+	// with next: the space is kept only where dropping it could fuse
+	// the neighbors into a different token (name/number chars running
+	// together, two-char symbols like := << .. //, QName/axis/comment
+	// colons) — everywhere else, "a ;" and "a;" tokenize identically,
+	// so the separator is dropped and the texts share a key.
+	sep := func(next byte) {
+		if pending && b.Len() > 0 && canFuse(last, next) {
+			b.WriteByte(' ')
+		}
+		pending = false
+	}
+	emit := func(s string) {
+		if len(s) == 0 {
+			return
+		}
+		sep(s[0])
+		b.WriteString(s)
+		last = s[len(s)-1]
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pending = true
+			i++
+		case c == '(' && i+1 < len(src) && src[i+1] == ':':
+			// nested comment, same algorithm as lexer.skipWS; an
+			// unterminated comment runs to EOF there too
+			depth := 0
+			for i < len(src) {
+				if i+1 < len(src) && src[i] == '(' && src[i+1] == ':' {
+					depth++
+					i += 2
+					continue
+				}
+				if i+1 < len(src) && src[i] == ':' && src[i+1] == ')' {
+					depth--
+					i += 2
+					if depth == 0 {
+						break
+					}
+					continue
+				}
+				i++
+			}
+			pending = true
+		case c == '"' || c == '\'':
+			// string literal: verbatim, quotes included; a doubled
+			// quote is an escape, not the terminator
+			quote := c
+			j := i + 1
+			for j < len(src) {
+				if src[j] == quote {
+					if j+1 < len(src) && src[j+1] == quote {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			emit(src[i:j])
+			i = j
+		case c == '<' && i+1 < len(src) &&
+			(isNameStart(src[i+1]) || src[i+1] == '!' || src[i+1] == '?'):
+			// possible direct constructor: stop normalizing, tail is
+			// copied byte-for-byte
+			emit(src[i:])
+			return b.String()
+		default:
+			emit(src[i : i+1])
+			i++
+		}
+	}
+	return b.String()
+}
+
+// canFuse reports whether bytes a and b, if made adjacent, could lex
+// as part of one token where separated they are two — exactly the
+// cases where a normalized key must keep an explicit separator.
+// Over-reporting only costs sharing, never correctness.
+func canFuse(a, b byte) bool {
+	if isNameChar(a) && isNameChar(b) {
+		return true // names and numbers run together ('.','-' included)
+	}
+	if a == ':' || b == ':' {
+		return true // :=, ::, (:, :), and QName prefix:local boundaries
+	}
+	switch a {
+	case '!':
+		return b == '='
+	case '<':
+		return b == '=' || b == '<'
+	case '>':
+		return b == '=' || b == '>'
+	case '/':
+		return b == '/'
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeCollapsesLayout(t *testing.T) {
+	a := "module namespace f = \"urn:f\";\ndeclare function f:one() { 1 + 2 };\n"
+	b := "module   namespace f =\t\"urn:f\" ;\n\n  declare function f:one()\r\n{ 1 + 2 } ;"
+	na, nb := Normalize(a), Normalize(b)
+	if na != nb {
+		t.Fatalf("layout variants normalize differently:\n%q\n%q", na, nb)
+	}
+}
+
+func TestNormalizeStripsComments(t *testing.T) {
+	a := "for $x in (1,2) return $x"
+	b := "for $x in (: a (: nested :) comment :) (1,2) return $x"
+	if Normalize(a) != Normalize(b) {
+		t.Fatalf("comment variant normalizes differently:\n%q\n%q", Normalize(a), Normalize(b))
+	}
+}
+
+func TestNormalizeCommentIsSeparator(t *testing.T) {
+	// a(:c:)b lexes as two names; ab as one — must stay distinct keys
+	if Normalize("a(:c:)b") == Normalize("ab") {
+		t.Fatal("comment-separated names collapsed into one key")
+	}
+	if got := Normalize("a(:c:)b"); got != "a b" {
+		t.Fatalf("Normalize(a(:c:)b) = %q; want %q", got, "a b")
+	}
+}
+
+func TestNormalizeKeepsStringsVerbatim(t *testing.T) {
+	src := `concat("two  spaces", 'it''s', "a (: not a comment :) b")`
+	got := Normalize(src)
+	for _, lit := range []string{`"two  spaces"`, `'it''s'`, `"a (: not a comment :) b"`} {
+		if !strings.Contains(got, lit) {
+			t.Fatalf("literal %s altered: %q", lit, got)
+		}
+	}
+	if Normalize(`"a  b"`) == Normalize(`"a b"`) {
+		t.Fatal("distinct string literals share a key")
+	}
+}
+
+func TestNormalizeStopsAtConstructor(t *testing.T) {
+	// constructor content is raw-character-significant: both the
+	// whitespace and the "(:" inside must survive byte-for-byte
+	tail := "<a>  two  spaces (: literal :) {1+1}</a>"
+	src := "declare   function f:mk() {   " + tail
+	got := Normalize(src)
+	if !strings.Contains(got, tail) {
+		t.Fatalf("constructor tail altered:\n src=%q\n got=%q", src, got)
+	}
+	// whitespace after the first constructor must NOT collapse
+	a := "1, <a>x</a>,   <b>y</b>"
+	b := "1, <a>x</a>, <b>y</b>"
+	if Normalize(a) == Normalize(b) {
+		t.Fatal("post-constructor text was normalized")
+	}
+}
+
+func TestNormalizeLessThanIsNotConstructor(t *testing.T) {
+	// '<' before a space or digit is a comparison and normalizes fine
+	a := "if (1 <   2) then 1 else 2"
+	b := "if (1 < 2) then 1 else 2"
+	if Normalize(a) != Normalize(b) {
+		t.Fatalf("comparison variants differ: %q vs %q", Normalize(a), Normalize(b))
+	}
+}
+
+func TestNormalizeTrimsEnds(t *testing.T) {
+	if got := Normalize("  \n 1 + 1 \t(: tail :) "); got != "1+1" {
+		t.Fatalf("Normalize = %q; want %q", got, "1+1")
+	}
+	if got := Normalize(""); got != "" {
+		t.Fatalf("Normalize(empty) = %q", got)
+	}
+}
+
+// semantics-preservation spot check: normalized text of a comment-free,
+// constructor-free module still parses to the same shape
+func TestNormalizedSourceStillParses(t *testing.T) {
+	src := "module namespace f = \"urn:f\";\ndeclare function f:q($d) { for $x in $d//item return $x };"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	if _, err := Parse(Normalize(src)); err != nil {
+		t.Fatalf("normalized source does not parse: %v\n%q", err, Normalize(src))
+	}
+}
