@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"xrpc/internal/client"
+	"xrpc/internal/modules"
 	"xrpc/internal/netsim"
 	"xrpc/internal/server"
 	"xrpc/internal/xdm"
@@ -337,6 +338,124 @@ func TestCachedScatterMatchesBaselineAcrossShapes(t *testing.T) {
 	}
 }
 
+// TestResultCacheSeesModuleReregistration: re-registering a module
+// changes semantics with no store write, so the Tier-2 fence must
+// include the registry generation — a merged result cached before the
+// Register must never be served after it.
+func TestResultCacheSeesModuleReregistration(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	reg := personsRegistry(t)
+	xml := xmark.GeneratePersons(xmark.Config{Persons: 20, Seed: 11})
+	dep, err := Deploy(net, reg, map[string]string{"persons.xml": xml},
+		DeployConfig{Shards: 2, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(dep.Table, client.New(net)) // no routes: broadcast
+	co.ResultCache = NewResultCache(0)
+
+	read := getPersonRequest(xmark.PersonID(3))
+	before, err := co.Scatter(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Scatter(read); err != nil {
+		t.Fatal(err)
+	}
+	if st := co.ResultCache.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v; want 1 warm hit before re-registration", st)
+	}
+
+	// same namespace and hint, new getPerson semantics: the person's
+	// city element instead of the person — no store write involved
+	const v2 = `
+module namespace p = "functions_p";
+declare function p:getPerson($pid as xs:string) as node()*
+{ doc("persons.xml")//person[@id=$pid]/address/city };
+declare function p:cityOf($pid as xs:string) as xs:string
+{ string(doc("persons.xml")//person[@id=$pid]/address/city) };
+declare updating function p:setCity($pid as xs:string, $city as xs:string)
+{ for $c in doc("persons.xml")//person[@id=$pid]/address/city
+  return replace value of node $c with $city };`
+	if err := reg.Register(v2, "http://example.org/p.xq"); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := co.Scatter(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(encodeResults(read, after), encodeResults(read, before)) {
+		t.Fatalf("post-re-registration scatter served the pre-registration cached result:\n%s",
+			encodeResults(read, after))
+	}
+	if st := co.ResultCache.Stats(); st.Hits != 1 {
+		t.Fatalf("stats after re-registration = %+v; the stale entry must not hit", st)
+	}
+}
+
+// TestDeployInvalidatesImporterPlans: Deploy must wire
+// reg.OnUpdate(exec.InvalidateModule) on every shard executor, as
+// core.NewPeer does — re-registering an imported module leaves the
+// importer's source, and hence its normalized plan-cache key,
+// unchanged, so only the dependency-tracking invalidation can drop the
+// importer's stale compiled plan.
+func TestDeployInvalidatesImporterPlans(t *testing.T) {
+	const baseV1 = `
+module namespace base = "base_m";
+declare function base:tag() as xs:string { "v1" };`
+	const baseV2 = `
+module namespace base = "base_m";
+declare function base:tag() as xs:string { "v2" };`
+	const importer = `
+module namespace imp = "imp_m";
+import module namespace base = "base_m" at "http://example.org/base.xq";
+declare function imp:tag() as xs:string { base:tag() };`
+
+	reg := modules.NewRegistry()
+	if err := reg.Register(baseV1, "http://example.org/base.xq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(importer, "http://example.org/imp.xq"); err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(0, 0)
+	xml := xmark.GeneratePersons(xmark.Config{Persons: 10, Seed: 11})
+	dep, err := Deploy(net, reg, map[string]string{"persons.xml": xml},
+		DeployConfig{Shards: 2, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := dep.Coordinator()
+	br := &client.BulkRequest{
+		ModuleURI: "imp_m", AtHint: "http://example.org/imp.xq",
+		Func: "tag", Arity: 0, Calls: [][]xdm.Sequence{{}},
+	}
+	check := func(want string) {
+		t.Helper()
+		res, err := co.Scatter(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res[0]) != 2 {
+			t.Fatalf("broadcast returned %d items, want one per shard", len(res[0]))
+		}
+		for _, it := range res[0] {
+			if got := it.StringValue(); got != want {
+				t.Fatalf("imp:tag() = %q, want %q", got, want)
+			}
+		}
+	}
+	check("v1")
+	// warm the importer's plan again so the re-registration below must
+	// actually invalidate a cached plan, then change only the base
+	check("v1")
+	if err := reg.Register(baseV2, "http://example.org/base.xq"); err != nil {
+		t.Fatal(err)
+	}
+	check("v2")
+}
+
 // TestRespCacheStatsInShardInfo: shardInfo reports version and cache
 // counters as metadata items older consumers skip.
 func TestRespCacheStatsInShardInfo(t *testing.T) {
@@ -353,11 +472,14 @@ func TestRespCacheStatsInShardInfo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var haveVersion, haveResp, havePlan bool
+	var haveVersion, haveGeneration, haveResp, havePlan bool
 	for _, it := range res[0] {
 		s := it.StringValue()
 		if _, ok := server.ParseVersionItem(s); ok {
 			haveVersion = true
+		}
+		if _, ok := server.ParseGenerationItem(s); ok {
+			haveGeneration = true
 		}
 		if len(s) > 10 && s[:10] == "respcache=" {
 			haveResp = true
@@ -366,8 +488,8 @@ func TestRespCacheStatsInShardInfo(t *testing.T) {
 			havePlan = true
 		}
 	}
-	if !haveVersion || !haveResp || !havePlan {
-		t.Fatalf("shardInfo missing metadata: version=%v respcache=%v plancache=%v (%v)",
-			haveVersion, haveResp, havePlan, res[0])
+	if !haveVersion || !haveGeneration || !haveResp || !havePlan {
+		t.Fatalf("shardInfo missing metadata: version=%v generation=%v respcache=%v plancache=%v (%v)",
+			haveVersion, haveGeneration, haveResp, havePlan, res[0])
 	}
 }

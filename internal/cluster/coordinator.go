@@ -91,8 +91,9 @@ type Coordinator struct {
 	OnEvict func(shard int, uri string, reason error)
 	// ResultCache, when non-nil, serves repeat read-only scatters from
 	// the coordinator's merged-result cache, revalidated against each
-	// shard's commit-fence version via a shardInfo probe (see
-	// resultcache.go). Requests under a queryID bypass it.
+	// shard's commit-fence version and registry generation via a
+	// shardInfo probe (see resultcache.go). Requests under a queryID
+	// bypass it.
 	ResultCache *ResultCache
 
 	mu     sync.RWMutex

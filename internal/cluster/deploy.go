@@ -37,6 +37,11 @@ type DeployConfig struct {
 	RespCacheEntries int
 	// ResultCacheBytes, when > 0, attaches a Tier-2 merged-result cache
 	// of this byte bound to every coordinator built via Coordinator().
+	// Memory note: with the cache on, ScatterStream's miss path still
+	// streams the response incrementally but retains one copy of the
+	// merged result to populate the cache — the strict
+	// never-materialize bound of the streaming gather holds only with
+	// the cache off.
 	ResultCacheBytes int64
 }
 
@@ -112,7 +117,13 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 					return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
 				}
 			}
-			srv := server.New(st, reg, server.NewNativeExecutor(interp.New(st, reg, nil), reg))
+			exec := server.NewNativeExecutor(interp.New(st, reg, nil), reg)
+			// mirror core.NewPeer: a module re-registration must drop
+			// every plan depending on it on every shard executor — an
+			// importer's own source (hence its plan-cache key) does not
+			// change when an imported module does
+			reg.OnUpdate(exec.InvalidateModule)
+			srv := server.New(st, reg, exec)
 			srv.Self = uri
 			srv.Shard, srv.Shards = s, cfg.Shards
 			srv.ShardRanges = descriptors

@@ -160,9 +160,9 @@ func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 		return nil, err
 	}
 	// requests outside an isolation scope can be answered from the
-	// merged-result cache, revalidated against the shards' commit-fence
-	// versions (see resultcache.go); queryID'd requests see their own
-	// pinned snapshots and bypass it
+	// merged-result cache, revalidated against the shards' (version,
+	// generation) fences (see resultcache.go); queryID'd requests see
+	// their own pinned snapshots and bypass it
 	if co.ResultCache != nil && co.Client.QueryID == nil {
 		return co.scatterCached(br)
 	}
@@ -241,38 +241,78 @@ func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error 
 			Module: br.ModuleURI, Method: br.Func, Results: results,
 		})
 	}
-	// with the result cache on, answer through Scatter and encode the
-	// merged result — a hit streams straight from cached sequences with
-	// no shard round trip at all. The trade-off is deliberate: caching a
-	// result requires holding it, so the never-materialize guarantee of
-	// the pure streaming path applies only when ResultCache is nil (the
-	// default, and what the memory-bound smoke test exercises).
+	// with the result cache on, the gather stays incremental on a miss
+	// (items flow to w as shards produce them) but one copy of the
+	// merged result is retained to populate the cache — caching a result
+	// requires holding it. A hit encodes straight from the cached
+	// sequences with no shard round trip at all. The never-materialize
+	// guarantee of the pure streaming path therefore applies only when
+	// ResultCache is nil (the default, and what the memory-bound smoke
+	// test exercises); see DeployConfig.ResultCacheBytes.
 	if co.ResultCache != nil && co.Client.QueryID == nil {
-		results, err := co.scatterCached(br)
-		if err != nil {
-			return err
-		}
-		return soap.EncodeResponseTo(w, &soap.Response{
-			Module: br.ModuleURI, Method: br.Func, Results: results,
-		})
+		return co.scatterCachedStream(br, w)
 	}
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
-	conns, err := co.openShardStreams(enc.Bytes(), len(br.Calls))
+	_, _, err := co.gatherStreamCapture(br, enc.Bytes(), w, false)
+	return err
+}
+
+// gatherStreamCapture runs the streamed broadcast gather with the
+// merged response envelope encoded to w in chunks as it is assembled:
+// decoded items from shard k are re-encoded into the output and gone
+// before shard k+1's arrive. With capture set it additionally retains
+// the merged and per-shard sequences — the result cache's population
+// input — at the cost of holding one copy of the result; without it
+// nothing is retained and coordinator memory stays bounded by the
+// per-shard read-ahead windows.
+func (co *Coordinator) gatherStreamCapture(br *client.BulkRequest, body []byte, w io.Writer, capture bool) ([]xdm.Sequence, [][]xdm.Sequence, error) {
+	calls := len(br.Calls)
+	conns, err := co.openShardStreams(body, calls)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	defer closeShardStreams(conns)
+	var merged []xdm.Sequence
+	var perShard [][]xdm.Sequence
+	if capture {
+		merged = make([]xdm.Sequence, 0, calls)
+		perShard = make([][]xdm.Sequence, co.Table.NumShards())
+		for s := range perShard {
+			perShard[s] = make([]xdm.Sequence, calls)
+		}
+	}
+	var cur xdm.Sequence
 	out := soap.NewStreamEncoder(w, 0)
 	defer out.Release()
 	out.BeginResponse(br.ModuleURI, br.Func)
-	err = gatherStreams(conns, len(br.Calls),
-		func() error { out.BeginSequence(); return out.Err() },
-		func(_ int, it xdm.Item) error { out.EncodeItem(it); return out.Err() },
-		func() error { out.EndSequence(); return out.Err() })
+	err = gatherStreams(conns, calls,
+		func() error {
+			out.BeginSequence()
+			cur = nil
+			return out.Err()
+		},
+		func(shard int, it xdm.Item) error {
+			out.EncodeItem(it)
+			if capture {
+				cur = append(cur, it)
+				perShard[shard][len(merged)] = append(perShard[shard][len(merged)], it)
+			}
+			return out.Err()
+		},
+		func() error {
+			out.EndSequence()
+			if capture {
+				merged = append(merged, cur)
+			}
+			return out.Err()
+		})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	out.EndResponse(nil)
-	return out.Flush()
+	if err := out.Flush(); err != nil {
+		return nil, nil, err
+	}
+	return merged, perShard, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -17,10 +18,11 @@ const DefaultResultCacheBytes = 64 << 20
 
 // ResultCache is the Tier-2 coordinator cache: whole merged scatter
 // results keyed on the request's encoded call set and fenced on a
-// per-shard version vector. Revalidation is a shardInfo probe — one
-// tiny system call per shard instead of re-executing the query — and a
-// broadcast entry whose vector is partially stale refreshes only the
-// stale shards, splicing their fresh results into the retained ones.
+// per-shard fence vector of (store version, registry generation).
+// Revalidation is a shardInfo probe — one tiny system call per shard
+// instead of re-executing the query — and a broadcast entry whose
+// vector is partially stale refreshes only the stale shards, splicing
+// their fresh results into the retained ones.
 type ResultCache struct {
 	lru *cache.LRU
 
@@ -65,11 +67,23 @@ func (rc *ResultCache) Stats() ResultCacheStats {
 // Clear drops every entry (counters are preserved).
 func (rc *ResultCache) Clear() { rc.lru.Clear() }
 
+// shardFence is one shard's freshness coordinates: the store's
+// commit-fence version (every committed write advances it by one step)
+// and the module registry's generation (every Register advances it).
+// Both must match for a cached result to be reused — module
+// re-registration changes semantics with no store write, so a store
+// version alone cannot see it (the Tier-1 respcache keys on
+// Generation() for the same reason).
+type shardFence struct {
+	version    int64
+	generation int64
+}
+
 // resultEntry is one cached merged result.
 type resultEntry struct {
-	// versions[s] is shard s's commit-fence version the entry is valid
-	// at (probed around population, stored for every shard).
-	versions []int64
+	// fences[s] is shard s's (version, generation) fence the entry is
+	// valid at (probed around population, stored for every shard).
+	fences []shardFence
 	// perShard[s][i] is shard s's own result for call i — retained for
 	// broadcast scatters so a partially-stale entry can refresh just
 	// the stale shards. nil for pruned scatters (their per-call shard
@@ -107,11 +121,12 @@ func estimateSize(key string, merged []xdm.Sequence) int64 {
 	return int64(len(key) + len(enc.Bytes()))
 }
 
-// probeVersions asks every shard for its commit-fence version via the
-// shardInfo system call (encode once, post to each shard with replica
-// failover). An error — or a shard that does not report a version item,
-// e.g. a peer predating the fence — disables caching for this request.
-func (co *Coordinator) probeVersions() ([]int64, error) {
+// probeFences asks every shard for its (version, generation) fence via
+// the shardInfo system call (encode once, post to each shard with
+// replica failover). An error — or a shard that does not report both
+// fence items, e.g. a peer predating the fence — disables caching for
+// this request.
+func (co *Coordinator) probeFences() ([]shardFence, error) {
 	enc := co.Client.EncodeBulk(&client.BulkRequest{
 		ModuleURI: client.SystemModule,
 		Func:      "shardInfo",
@@ -121,7 +136,7 @@ func (co *Coordinator) probeVersions() ([]int64, error) {
 	defer enc.Release()
 	body := enc.Bytes()
 	n := co.Table.NumShards()
-	versions := make([]int64, n)
+	fences := make([]shardFence, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
@@ -133,13 +148,18 @@ func (co *Coordinator) probeVersions() ([]int64, error) {
 				errs[s] = err
 				return
 			}
+			var haveVer, haveGen bool
 			for _, it := range res[0] {
 				if v, ok := server.ParseVersionItem(it.StringValue()); ok {
-					versions[s] = v
-					return
+					fences[s].version, haveVer = v, true
+				}
+				if g, ok := server.ParseGenerationItem(it.StringValue()); ok {
+					fences[s].generation, haveGen = g, true
 				}
 			}
-			errs[s] = xdm.Errorf("XRPC0007", "shard %d reports no version item", s)
+			if !haveVer || !haveGen {
+				errs[s] = xdm.Errorf("XRPC0007", "shard %d reports no version/generation fence", s)
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -148,10 +168,10 @@ func (co *Coordinator) probeVersions() ([]int64, error) {
 			return nil, err
 		}
 	}
-	return versions, nil
+	return fences, nil
 }
 
-func sameVersions(a, b []int64) bool {
+func sameFences(a, b []shardFence) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -166,8 +186,8 @@ func sameVersions(a, b []int64) bool {
 // scatterCached answers a read-only scatter through the merged-result
 // cache. The key is the request's destination-independent encoded body
 // (encode-once scatter-many makes this deterministic); freshness is the
-// per-shard version vector. Any probe failure falls back to plain
-// execution with caching off — stale is never served.
+// per-shard (version, generation) fence vector. Any probe failure falls
+// back to plain execution with caching off — stale is never served.
 func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	rc := co.ResultCache
 	enc := co.Client.EncodeBulk(br)
@@ -181,21 +201,21 @@ func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, er
 	if v, _, ok := rc.lru.GetAny(key); ok {
 		entry := v.(*resultEntry)
 		rc.Revalidations.Add(1)
-		probed, err := co.probeVersions()
+		probed, err := co.probeFences()
 		switch {
 		case err != nil:
 			// a shard we can't probe is a shard we can't trust the
 			// entry against: execute directly, don't populate
 			rc.Misses.Add(1)
 			return co.scatterDirect(br)
-		case sameVersions(entry.versions, probed):
+		case sameFences(entry.fences, probed):
 			rc.Hits.Add(1)
 			return entry.clipped(), nil
 		case entry.perShard != nil:
 			// broadcast entry, some shards moved on: re-query only
 			// those, splice, and re-store under the probed vector.
 			// A commit landing between probe and refresh tags the
-			// fresher data with the older probed version — the safe
+			// fresher data with the older probed fence — the safe
 			// direction (one extra refresh later, never a stale serve).
 			merged, err := co.refreshStale(br, body, entry, probed)
 			if err != nil {
@@ -211,9 +231,9 @@ func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, er
 
 	rc.Misses.Add(1)
 	// populate guard: probe before and after execution and store only
-	// when the vectors agree — a commit landing mid-scatter could
+	// when the fence vectors agree — a commit landing mid-scatter could
 	// otherwise tag mixed-version results as clean
-	pre, preErr := co.probeVersions()
+	pre, preErr := co.probeFences()
 	var merged []xdm.Sequence
 	var perShard [][]xdm.Sequence
 	var err error
@@ -226,8 +246,8 @@ func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, er
 		return nil, err
 	}
 	if preErr == nil {
-		if post, err := co.probeVersions(); err == nil && sameVersions(pre, post) {
-			entry := &resultEntry{versions: pre, perShard: perShard, merged: merged}
+		if post, err := co.probeFences(); err == nil && sameFences(pre, post) {
+			entry := &resultEntry{fences: pre, perShard: perShard, merged: merged}
 			rc.lru.Put(key, entry, estimateSize(key, merged), 0)
 			return entry.clipped(), nil
 		}
@@ -235,12 +255,75 @@ func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, er
 	return merged, nil
 }
 
-// refreshStale re-queries exactly the shards whose probed version
-// differs from the entry's, rebuilds the merge from retained + fresh
-// per-shard results, and re-stores the entry under the probed vector.
-func (co *Coordinator) refreshStale(br *client.BulkRequest, body []byte, entry *resultEntry, probed []int64) ([]xdm.Sequence, error) {
+// encodeMergedTo renders a materialized merged result as the response
+// envelope — the hit path of the streamed cached scatter, whose result
+// the cache necessarily holds anyway. Byte-identical to the incremental
+// encoder's output for the same sequences.
+func encodeMergedTo(w io.Writer, br *client.BulkRequest, results []xdm.Sequence) error {
+	return soap.EncodeResponseTo(w, &soap.Response{
+		Module: br.ModuleURI, Method: br.Func, Results: results,
+	})
+}
+
+// scatterCachedStream is scatterCached for the streaming response path
+// (broadcast requests only — ScatterStream handles pruned requests
+// before consulting the cache). Hits and partial hits encode the cached
+// sequences; a miss keeps the gather incremental — items flow to w as
+// shards produce them — and retains one copy of the result only to
+// populate the cache (and only when a clean pre-probe means the entry
+// may actually be stored).
+func (co *Coordinator) scatterCachedStream(br *client.BulkRequest, w io.Writer) error {
+	rc := co.ResultCache
+	enc := co.Client.EncodeBulk(br)
+	defer enc.Release()
+	body := enc.Bytes()
+	key := string(body)
+
+	if v, _, ok := rc.lru.GetAny(key); ok {
+		entry := v.(*resultEntry)
+		rc.Revalidations.Add(1)
+		probed, err := co.probeFences()
+		switch {
+		case err != nil:
+			rc.Misses.Add(1)
+			_, _, err := co.gatherStreamCapture(br, body, w, false)
+			return err
+		case sameFences(entry.fences, probed):
+			rc.Hits.Add(1)
+			return encodeMergedTo(w, br, entry.merged)
+		case entry.perShard != nil:
+			merged, err := co.refreshStale(br, body, entry, probed)
+			if err != nil {
+				return err
+			}
+			rc.PartialHits.Add(1)
+			return encodeMergedTo(w, br, merged)
+		default:
+			rc.lru.Remove(key)
+		}
+	}
+
+	rc.Misses.Add(1)
+	pre, preErr := co.probeFences()
+	merged, perShard, err := co.gatherStreamCapture(br, body, w, preErr == nil)
+	if err != nil {
+		return err
+	}
+	if preErr == nil {
+		if post, err := co.probeFences(); err == nil && sameFences(pre, post) {
+			entry := &resultEntry{fences: pre, perShard: perShard, merged: merged}
+			rc.lru.Put(key, entry, estimateSize(key, merged), 0)
+		}
+	}
+	return nil
+}
+
+// refreshStale re-queries exactly the shards whose probed fence differs
+// from the entry's, rebuilds the merge from retained + fresh per-shard
+// results, and re-stores the entry under the probed vector.
+func (co *Coordinator) refreshStale(br *client.BulkRequest, body []byte, entry *resultEntry, probed []shardFence) ([]xdm.Sequence, error) {
 	n := co.Table.NumShards()
-	if len(entry.versions) != n || len(entry.perShard) != n {
+	if len(entry.fences) != n || len(entry.perShard) != n {
 		// table resized since population: the entry's shard split no
 		// longer lines up — full re-execute
 		return co.scatterDirect(br)
@@ -249,7 +332,7 @@ func (co *Coordinator) refreshStale(br *client.BulkRequest, body []byte, entry *
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
-		if probed[s] == entry.versions[s] {
+		if probed[s] == entry.fences[s] {
 			fresh[s] = entry.perShard[s]
 			continue
 		}
@@ -274,7 +357,7 @@ func (co *Coordinator) refreshStale(br *client.BulkRequest, body []byte, entry *
 		merged[i] = seq
 	}
 	next := &resultEntry{
-		versions: append([]int64(nil), probed...),
+		fences:   append([]shardFence(nil), probed...),
 		perShard: fresh,
 		merged:   merged,
 	}

@@ -37,6 +37,31 @@ func ParseVersionItem(s string) (int64, bool) {
 	return v, true
 }
 
+// generationPrefix tags the registry-generation item appended to the
+// shardInfo response next to the version item. Module re-registration
+// changes semantics without any store write, so a coordinator fencing
+// cached results on store versions alone would serve stale data across
+// a Register; the generation closes that hole.
+const generationPrefix = "generation="
+
+// GenerationItem renders a module-registry generation as its shardInfo
+// metadata item.
+func GenerationItem(g int64) string {
+	return generationPrefix + strconv.FormatInt(g, 10)
+}
+
+// ParseGenerationItem recognizes a shardInfo registry-generation item.
+func ParseGenerationItem(s string) (int64, bool) {
+	if !strings.HasPrefix(s, generationPrefix) {
+		return 0, false
+	}
+	g, err := strconv.ParseInt(s[len(generationPrefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
 // DefaultRespCacheBytes bounds the per-shard response cache when a
 // caller enables it without choosing a size.
 const DefaultRespCacheBytes = 32 << 20

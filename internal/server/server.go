@@ -388,9 +388,15 @@ func (s *Server) handleSystem(req *soap.Request) (*soap.Response, error) {
 		}
 		// trailing metadata items (appended last so older consumers,
 		// which parse only the leading slots and range descriptors,
-		// skip them): the commit-fence version — the coordinator's
-		// cheap revalidation probe — and cache counters
+		// skip them): the commit-fence version and registry generation
+		// — together the coordinator's cheap revalidation probe — and
+		// cache counters
 		seq = append(seq, xdm.String(VersionItem(s.Store.Version())))
+		var gen int64
+		if s.Registry != nil {
+			gen = s.Registry.Generation()
+		}
+		seq = append(seq, xdm.String(GenerationItem(gen)))
 		if s.RespCache != nil {
 			st := s.RespCache.Stats()
 			seq = append(seq, xdm.String(fmt.Sprintf(
