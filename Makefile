@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke memsmoke cachesmoke ci
+.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke memsmoke cachesmoke obssmoke ci
 
 build:
 	$(GO) build ./...
@@ -73,4 +73,13 @@ memsmoke:
 cachesmoke:
 	$(GO) test -run 'TestCacheSmoke' -v ./internal/cluster/
 
-ci: build vet race bench-smoke fuzz-smoke memsmoke cachesmoke
+# obssmoke is the observability acceptance check: a 2-shard cached
+# cluster with the full metrics/trace/slow-log layer attached, driven
+# cold -> warm -> routed 2PC update -> post-write read, then scraped
+# through the /metrics, /healthz and /readyz debug endpoints. Asserts
+# the scatter, cache-tier and 2PC counters move at each stage and that
+# one trace ID appears in both shards' slow-query logs.
+obssmoke:
+	$(GO) test -run 'TestObsSmoke' -v ./internal/cluster/
+
+ci: build vet race bench-smoke fuzz-smoke memsmoke cachesmoke obssmoke

@@ -31,12 +31,18 @@
 // from cached result bytes until a commit steps the store version);
 // -resultcache N gives a proxy an N MiB merged-result cache (warm
 // requests revalidate with one shardInfo probe round per shard).
+//
+// Observability: -debug-addr starts a second HTTP listener with
+// /metrics (Prometheus text), /healthz, /readyz, /debug/pprof/* and
+// /debug/vars; -slow-query sets the threshold past which requests (and,
+// in proxy mode, scatters) are written to the structured slow-query
+// log with their trace IDs. Logs go to stderr via log/slog.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -48,8 +54,31 @@ import (
 	"xrpc/internal/client"
 	"xrpc/internal/cluster"
 	"xrpc/internal/core"
+	"xrpc/internal/obs"
 	"xrpc/internal/server"
 )
+
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// serveDebug starts the observability listener: Prometheus /metrics,
+// liveness, readiness and the pprof/expvar debug surface.
+func serveDebug(debugAddr string, reg *obs.Registry, ready func() error) {
+	dln, err := net.Listen("tcp", debugAddr)
+	if err != nil {
+		fatalf("listen %s: %v", debugAddr, err)
+	}
+	logger.Info(fmt.Sprintf("debug endpoints listening on %s (/metrics /healthz /readyz /debug/pprof)", dln.Addr()))
+	go func() {
+		if err := http.Serve(dln, obs.DebugMux(reg, ready)); err != nil {
+			logger.Error("debug server exited", "err", err)
+		}
+	}()
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -72,61 +101,76 @@ func main() {
 		"peer mode: version-fenced response cache size in MiB (0 = off); read-only bulk calls outside an isolation scope are answered from cached result bytes until a commit steps the store version")
 	resultCacheMiB := flag.Int("resultcache", 0,
 		"proxy mode: coordinator merged-result cache size in MiB (0 = off); warm requests revalidate with one shardInfo probe round per shard instead of re-executing")
+	debugAddr := flag.String("debug-addr", "",
+		"observability listen address serving /metrics, /healthz, /readyz, /debug/pprof/* and /debug/vars (empty = off)")
+	slowQuery := flag.Duration("slow-query", 0,
+		"slow-query log threshold: requests (and proxy scatters) slower than this are logged with trace ID, per-shard timings and cache disposition (0 = off)")
 	flag.Parse()
 
 	if *proxyPeers != "" {
 		if *docsDir != "" || *modsDir != "" || *of != 0 || *shard != 0 {
-			log.Fatal("-proxy is exclusive with -docs/-modules/-shard/-of: the proxy serves the shard peers' documents, not its own")
+			fatalf("-proxy is exclusive with -docs/-modules/-shard/-of: the proxy serves the shard peers' documents, not its own")
 		}
 		if *respCacheMiB != 0 {
-			log.Fatal("-respcache is a peer-mode flag; the proxy caches merged results with -resultcache")
+			fatalf("-respcache is a peer-mode flag; the proxy caches merged results with -resultcache")
 		}
-		runProxy(*addr, *proxyPeers, *rpcTimeout, *useGzip, *shardBuffer, *resultCacheMiB)
+		runProxy(*addr, *proxyPeers, *rpcTimeout, *useGzip, *shardBuffer, *resultCacheMiB,
+			*debugAddr, *slowQuery)
 		return
 	}
 	if *resultCacheMiB != 0 {
-		log.Fatal("-resultcache is a proxy-mode flag; a peer caches responses with -respcache")
+		fatalf("-resultcache is a proxy-mode flag; a peer caches responses with -respcache")
 	}
 
 	if *of == 0 && *shard != 0 {
-		log.Fatalf("-shard %d without -of: the total shard count is required", *shard)
+		fatalf("-shard %d without -of: the total shard count is required", *shard)
 	}
 	if *of < 0 || (*of > 0 && (*shard < 0 || *shard >= *of)) {
-		log.Fatalf("-shard %d -of %d: shard index must be in [0,%d)", *shard, *of, *of)
+		fatalf("-shard %d -of %d: shard index must be in [0,%d)", *shard, *of, *of)
 	}
 	if *self == "" {
 		*self = "xrpc://localhost" + *addr
 	}
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	transport := client.NewHTTPTransportTimeout(*rpcTimeout)
 	transport.Gzip = *useGzip
+	transport.Metrics = client.NewTransportMetrics(reg)
 	peer := core.NewPeer(*self, transport)
 	peer.SetParallelism(*parallel)
 	peer.Server.Gzip = *useGzip
 	if *respCacheMiB > 0 {
 		peer.Server.RespCache = server.NewRespCache(int64(*respCacheMiB)<<20, 0)
-		log.Printf("response cache: %d MiB, version-fenced", *respCacheMiB)
+		logger.Info("response cache enabled", "mib", *respCacheMiB, "fence", "store version")
 	}
 	if *of > 0 {
 		peer.Server.Shard, peer.Server.Shards = *shard, *of
 	}
+	peer.EnableObs(reg, obs.NewSlowLog(logger, *slowQuery))
 
 	if *docsDir != "" {
 		n, err := loadDocs(peer, *docsDir, *shard, *of)
 		if err != nil {
-			log.Fatalf("loading documents: %v", err)
+			fatalf("loading documents: %v", err)
 		}
 		if *of > 0 {
-			log.Printf("loaded shard %d/%d of %d document(s) from %s", *shard, *of, n, *docsDir)
+			logger.Info("documents loaded", "count", n, "dir", *docsDir, "shard", *shard, "of", *of)
 		} else {
-			log.Printf("loaded %d document(s) from %s", n, *docsDir)
+			logger.Info("documents loaded", "count", n, "dir", *docsDir)
 		}
 	}
 	if *modsDir != "" {
 		n, err := loadModules(peer, *modsDir)
 		if err != nil {
-			log.Fatalf("loading modules: %v", err)
+			fatalf("loading modules: %v", err)
 		}
-		log.Printf("registered %d module(s) from %s", n, *modsDir)
+		logger.Info("modules registered", "count", n, "dir", *modsDir)
+	}
+
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, reg, peer.Ready)
 	}
 
 	mux := http.NewServeMux()
@@ -139,52 +183,70 @@ func main() {
 		fmt.Fprintf(w, "documents: %v\n", peer.Store.Names())
 	})
 	// listen explicitly so -addr :0 (a kernel-chosen port) works and the
-	// actual address is logged — cluster tooling parses this line to
-	// build routing tables over freshly started peers
+	// actual address is logged — cluster tooling parses the "listening
+	// on <addr> " part of this line to build routing tables over freshly
+	// started peers, so the message keeps that exact shape
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen %s: %v", *addr, err)
+		fatalf("listen %s: %v", *addr, err)
 	}
 	if *of > 0 {
-		log.Printf("XRPC peer %s (shard %d/%d) listening on %s (POST /xrpc)", *self, *shard, *of, ln.Addr())
+		logger.Info(fmt.Sprintf("XRPC peer %s (shard %d/%d) listening on %s (POST /xrpc)", *self, *shard, *of, ln.Addr()))
 	} else {
-		log.Printf("XRPC peer %s listening on %s (POST /xrpc)", *self, ln.Addr())
+		logger.Info(fmt.Sprintf("XRPC peer %s listening on %s (POST /xrpc)", *self, ln.Addr()))
 	}
-	log.Fatal(http.Serve(ln, mux))
+	fatalf("serve: %v", http.Serve(ln, mux))
 }
 
 // runProxy serves a streaming scatter-gather coordinator over the
 // given shard peers: POST /xrpc scatters a bulk request to every shard
 // and streams the shard-order merge back to the client, chunk by
 // chunk, holding at most window bytes per shard.
-func runProxy(addr, peers string, rpcTimeout time.Duration, useGzip bool, shardBuffer, resultCacheMiB int) {
+func runProxy(addr, peers string, rpcTimeout time.Duration, useGzip bool, shardBuffer, resultCacheMiB int,
+	debugAddr string, slowQuery time.Duration) {
 	shards := strings.Split(peers, ",")
 	rt, err := cluster.NewRoutingTable(len(shards))
 	if err != nil {
-		log.Fatalf("-proxy: %v", err)
+		fatalf("-proxy: %v", err)
 	}
 	for i, entry := range shards {
 		for _, uri := range strings.Split(entry, "|") {
 			uri = strings.TrimSpace(uri)
 			if uri == "" {
-				log.Fatalf("-proxy: shard %d: empty peer URI", i)
+				fatalf("-proxy: shard %d: empty peer URI", i)
 			}
 			if err := rt.Add(i, uri); err != nil {
-				log.Fatalf("-proxy: shard %d: %v", i, err)
+				fatalf("-proxy: shard %d: %v", i, err)
 			}
 		}
 	}
+	var reg *obs.Registry
+	if debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	transport := client.NewHTTPTransportTimeout(rpcTimeout)
 	transport.Gzip = useGzip
+	transport.Metrics = client.NewTransportMetrics(reg)
 	co := cluster.NewCoordinator(rt, client.New(transport))
 	co.MaxShardBuffer = shardBuffer
+	co.Client.RegisterMetrics(reg)
+	co.Metrics = cluster.NewMetrics(reg, rt.NumShards())
+	co.SlowLog = obs.NewSlowLog(logger, slowQuery)
+	co.OnEvict = func(shard int, uri string, reason error) {
+		logger.Warn("replica evicted", "shard", shard, "peer", uri, "err", reason)
+	}
 	if resultCacheMiB > 0 {
 		co.ResultCache = cluster.NewResultCache(int64(resultCacheMiB) << 20)
-		log.Printf("merged-result cache: %d MiB, version-vector fenced", resultCacheMiB)
+		co.ResultCache.RegisterMetrics(reg)
+		logger.Info("merged-result cache enabled", "mib", resultCacheMiB, "fence", "version vector")
+	}
+
+	if debugAddr != "" {
+		serveDebug(debugAddr, reg, rt.Validate)
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/xrpc", &cluster.Proxy{Co: co})
+	mux.Handle("/xrpc", &cluster.Proxy{Co: co, Log: logger})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "XRPC scatter-gather proxy over %d shard(s)\n", rt.NumShards())
 		for i := 0; i < rt.NumShards(); i++ {
@@ -193,10 +255,10 @@ func runProxy(addr, peers string, rpcTimeout time.Duration, useGzip bool, shardB
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		log.Fatalf("listen %s: %v", addr, err)
+		fatalf("listen %s: %v", addr, err)
 	}
-	log.Printf("XRPC proxy over %d shard(s) listening on %s (POST /xrpc)", rt.NumShards(), ln.Addr())
-	log.Fatal(http.Serve(ln, mux))
+	logger.Info(fmt.Sprintf("XRPC proxy over %d shard(s) listening on %s (POST /xrpc)", rt.NumShards(), ln.Addr()))
+	fatalf("serve: %v", http.Serve(ln, mux))
 }
 
 func loadDocs(peer *core.Peer, dir string, shard, of int) (int, error) {

@@ -14,6 +14,7 @@ import (
 
 	"xrpc/internal/interp"
 	"xrpc/internal/netsim"
+	"xrpc/internal/obs"
 	"xrpc/internal/soap"
 	"xrpc/internal/xdm"
 )
@@ -48,11 +49,37 @@ type Client struct {
 	// scatter-many, strictly fewer than Requests when one body is reused
 	// across shards and replica failover attempts.
 	Encodes atomic.Int64
+	// WindowStalls counts producer stalls of streamed responses: the
+	// per-shard prefetch window filled up and the socket reader had to
+	// wait for the consumer. Nil (the default) disables counting.
+	WindowStalls *obs.Counter
 }
 
 // New creates a client over a transport.
 func New(t netsim.Transport) *Client {
 	return &Client{Transport: t, peers: map[string]bool{}}
+}
+
+// RegisterMetrics promotes the client's ad-hoc stat counters onto a
+// registry — the /metrics view of the same atomics experiments read
+// in-process, so there is one source of truth. It also attaches the
+// window-stall counter used by streamed responses.
+func (c *Client) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("xrpc_client_requests_total",
+		"XRPC requests sent (including replica failover attempts).",
+		c.Requests.Load, labels...)
+	reg.CounterFunc("xrpc_client_sent_bytes_total",
+		"Request body bytes sent.", c.Sent.Load, labels...)
+	reg.CounterFunc("xrpc_client_received_bytes_total",
+		"Response body bytes received.", c.Received.Load, labels...)
+	reg.CounterFunc("xrpc_client_encodes_total",
+		"Request bodies encoded (fewer than requests under encode-once scatter-many).",
+		c.Encodes.Load, labels...)
+	c.WindowStalls = reg.NewCounter("xrpc_client_window_stalls_total",
+		"Streamed-response producer stalls: the prefetch window was full.", labels...)
 }
 
 // Peers returns all destination peers this client has contacted,
@@ -110,6 +137,9 @@ type BulkRequest struct {
 	// SeqNrs tags calls with their original query positions for the
 	// deterministic-update-order extension.
 	SeqNrs []int64
+	// TraceID, when set, rides the envelope header so the destination
+	// peer's logs and metrics correlate with the originating request.
+	TraceID string
 }
 
 // CallBulk performs a Bulk RPC: all calls in a single request/response
@@ -134,6 +164,7 @@ func (c *Client) EncodeBulk(br *BulkRequest) *soap.Encoder {
 		Location:   br.AtHint,
 		Updating:   br.Updating,
 		QueryID:    c.QueryID,
+		TraceID:    br.TraceID,
 		Calls:      br.Calls,
 		ByFragment: br.ByFragment,
 		SeqNrs:     br.SeqNrs,
@@ -180,6 +211,7 @@ func (c *Client) CallOneAtATime(dest string, br *BulkRequest) ([]xdm.Sequence, e
 			Updating:   br.Updating,
 			ByFragment: br.ByFragment,
 			Calls:      [][]xdm.Sequence{call},
+			TraceID:    br.TraceID,
 		}
 		if br.SeqNrs != nil {
 			single.SeqNrs = []int64{br.SeqNrs[ci]}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xrpc/internal/obs"
 	"xrpc/internal/soap"
 )
 
@@ -48,6 +49,37 @@ type HTTPTransport struct {
 	// understand gzip requests will fault, so enable it only against
 	// peers that negotiate (server.Server always accepts gzip requests).
 	Gzip bool
+	// Metrics, when set, records per-phase timeout causes, HTTP errors
+	// and the gzip compression ratio. Nil disables recording.
+	Metrics *TransportMetrics
+}
+
+// TransportMetrics is the HTTP transport's registry view: where time
+// went when a send failed (connect/header vs. mid-body stall), and what
+// gzip buys (raw vs. compressed request bytes — the ratio is the
+// quotient of the two counters).
+type TransportMetrics struct {
+	Timeouts   *obs.CounterVec // phase: "connect_or_header" | "idle_read"
+	HTTPErrors *obs.CounterVec // class: "4xx" | "5xx"
+	GzipRaw    *obs.Counter    // request bytes before compression
+	GzipOut    *obs.Counter    // request bytes actually sent
+}
+
+// NewTransportMetrics registers the transport instrument family.
+func NewTransportMetrics(reg *obs.Registry, labels ...obs.Label) *TransportMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &TransportMetrics{
+		Timeouts: reg.NewCounterVec("xrpc_http_timeouts_total",
+			"Sends aborted by a deadline, by phase.", "phase", labels...),
+		HTTPErrors: reg.NewCounterVec("xrpc_http_errors_total",
+			"Non-2xx HTTP responses, by class.", "class", labels...),
+		GzipRaw: reg.NewCounter("xrpc_http_gzip_raw_bytes_total",
+			"Request bytes before gzip compression.", labels...),
+		GzipOut: reg.NewCounter("xrpc_http_gzip_sent_bytes_total",
+			"Request bytes on the wire after gzip compression.", labels...),
+	}
 }
 
 // sharedTransport is the fallback connection pool for transports built
@@ -195,6 +227,10 @@ func (t *HTTPTransport) SendStream(dest, path string, body []byte) (io.ReadClose
 			return nil, fmt.Errorf("xrpc http: gzip request: %w", err)
 		}
 		sendBody = zbuf.Bytes()
+		if t.Metrics != nil {
+			t.Metrics.GzipRaw.Add(int64(len(body)))
+			t.Metrics.GzipOut.Add(int64(len(sendBody)))
+		}
 	}
 	// The context exists so the idle watchdog can abort a stalled
 	// transfer mid-body; it is released when the stream is closed.
@@ -215,6 +251,12 @@ func (t *HTTPTransport) SendStream(dest, path string, body []byte) (io.ReadClose
 	resp, err := cl.Do(req)
 	if err != nil {
 		cancel()
+		if t.Metrics != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.Metrics.Timeouts.With("connect_or_header").Inc()
+			}
+		}
 		return nil, fmt.Errorf("xrpc http: %w", err)
 	}
 	respBody := io.ReadCloser(resp.Body)
@@ -237,13 +279,20 @@ func (t *HTTPTransport) SendStream(dest, path string, body []byte) (io.ReadClose
 		}
 		resp.Body.Close()
 		cancel()
+		if t.Metrics != nil {
+			class := "4xx"
+			if resp.StatusCode >= 500 {
+				class = "5xx"
+			}
+			t.Metrics.HTTPErrors.With(class).Inc()
+		}
 		return nil, &HTTPError{
 			StatusCode: resp.StatusCode,
 			Status:     resp.Status,
 			Body:       strings.TrimSpace(string(trunc)),
 		}
 	}
-	return &streamBody{body: respBody, raw: resp.Body, cancel: cancel, idle: idle}, nil
+	return &streamBody{body: respBody, raw: resp.Body, cancel: cancel, idle: idle, metrics: t.Metrics}, nil
 }
 
 // streamBody is an HTTP response body with a per-read idle watchdog:
@@ -256,6 +305,7 @@ type streamBody struct {
 	cancel   context.CancelFunc
 	idle     time.Duration
 	timedOut atomic.Bool
+	metrics  *TransportMetrics
 }
 
 func (b *streamBody) Read(p []byte) (int, error) {
@@ -268,6 +318,9 @@ func (b *streamBody) Read(p []byte) (int, error) {
 	}
 	n, err := b.body.Read(p)
 	if err != nil && err != io.EOF && b.timedOut.Load() {
+		if b.metrics != nil {
+			b.metrics.Timeouts.With("idle_read").Inc()
+		}
 		err = fmt.Errorf("xrpc http: response stalled longer than %v: %w", b.idle, err)
 	}
 	return n, err

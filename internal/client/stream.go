@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"xrpc/internal/netsim"
+	"xrpc/internal/obs"
 	"xrpc/internal/soap"
 	"xrpc/internal/xdm"
 )
@@ -63,7 +64,7 @@ func (c *Client) SendStreamed(dest string, body []byte, calls, window int) (*Str
 		rc = io.NopCloser(bytes.NewReader(respBody))
 	}
 	if window > 0 {
-		rc = newPrefetchReader(rc, window)
+		rc = newPrefetchReader(rc, window, c.WindowStalls)
 	}
 	rs, err := soap.NewResponseStream(rc)
 	if err != nil {
@@ -165,16 +166,18 @@ type prefetchReader struct {
 	once   sync.Once
 	closed bool
 	cur    []byte
+	stalls *obs.Counter
 }
 
-func newPrefetchReader(rc io.ReadCloser, window int) *prefetchReader {
+func newPrefetchReader(rc io.ReadCloser, window int, stalls *obs.Counter) *prefetchReader {
 	depth := window / prefetchChunk
 	if depth < 1 {
 		depth = 1
 	}
 	pr := &prefetchReader{
-		ch:   make(chan []byte, depth),
-		done: make(chan struct{}),
+		ch:     make(chan []byte, depth),
+		done:   make(chan struct{}),
+		stalls: stalls,
 	}
 	go func() {
 		defer rc.Close()
@@ -184,8 +187,17 @@ func newPrefetchReader(rc io.ReadCloser, window int) *prefetchReader {
 			if n > 0 {
 				select {
 				case pr.ch <- buf[:n]:
-				case <-pr.done:
-					return
+				default:
+					// window full: the consumer is the bottleneck and the
+					// producer blocks until a slot frees — worth counting,
+					// it is the signal MaxShardBuffer is sized too small
+					// (or the merge too slow) for this workload
+					pr.stalls.Inc()
+					select {
+					case pr.ch <- buf[:n]:
+					case <-pr.done:
+						return
+					}
 				}
 			}
 			if err != nil {

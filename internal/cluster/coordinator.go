@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"xrpc/internal/client"
+	"xrpc/internal/obs"
 	"xrpc/internal/txn"
 	"xrpc/internal/xdm"
 )
@@ -95,6 +97,12 @@ type Coordinator struct {
 	// shardInfo probe (see resultcache.go). Requests under a queryID
 	// bypass it.
 	ResultCache *ResultCache
+	// Metrics, when non-nil, records scatter/merge/failover/2PC facts
+	// onto an obs.Registry (see NewMetrics). Nil disables all recording.
+	Metrics *Metrics
+	// SlowLog, when non-nil, writes a structured record for scatters
+	// slower than its threshold, carrying the request's trace ID.
+	SlowLog *obs.SlowLog
 
 	mu     sync.RWMutex
 	routes []RouteSpec
@@ -205,6 +213,7 @@ func (co *Coordinator) ScatterBuffered(br *client.BulkRequest) ([]xdm.Sequence, 
 	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
 		return co.scatterPruned(br, spec)
 	}
+	co.Metrics.countScatter("broadcast")
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
 	body := enc.Bytes()
@@ -309,6 +318,11 @@ func allShards(n int) []int {
 // received call i — byte-identical to broadcast because a pruned shard's
 // range proves its result for the call would have been empty.
 func (co *Coordinator) scatterPruned(br *client.BulkRequest, spec *RouteSpec) ([]xdm.Sequence, error) {
+	co.Metrics.countScatter("pruned")
+	var start time.Time
+	if co.Metrics != nil || co.SlowLog != nil {
+		start = time.Now()
+	}
 	parts := co.partition(br, spec)
 	results := make([][]xdm.Sequence, len(parts))
 	errs := make([]error, len(parts))
@@ -337,6 +351,9 @@ func (co *Coordinator) scatterPruned(br *client.BulkRequest, spec *RouteSpec) ([
 			merged[g] = append(merged[g], results[i][j]...)
 		}
 	}
+	if !start.IsZero() {
+		co.observeScatter(br, len(parts), nil, time.Since(start))
+	}
 	return merged, nil
 }
 
@@ -346,17 +363,27 @@ func (co *Coordinator) scatterPruned(br *client.BulkRequest, spec *RouteSpec) ([
 // 4xx HTTP statuses) stop the walk: every replica holds the same shard,
 // so a deterministic rejection would only repeat.
 func (co *Coordinator) callShard(shard int, body []byte, calls int) ([]xdm.Sequence, error) {
+	var start time.Time
+	if co.Metrics != nil {
+		start = time.Now()
+	}
 	replicas := co.Table.Replicas(shard)
 	var lastErr error
-	for _, uri := range replicas {
+	for a, uri := range replicas {
 		res, err := co.Client.SendEncoded(uri, body, calls)
 		if err == nil {
+			if !start.IsZero() {
+				co.Metrics.observeCall(shard, time.Since(start), a)
+			}
 			return res, nil
 		}
 		if !client.Retriable(err) {
 			return nil, err
 		}
 		lastErr = err
+	}
+	if m := co.Metrics; m != nil {
+		m.Failovers.Add(int64(len(replicas) - 1))
 	}
 	return nil, fmt.Errorf("all %d replica(s) unreachable: %w", len(replicas), lastErr)
 }
@@ -406,6 +433,10 @@ func (co *Coordinator) Update(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	txCl := client.New(co.Client.Transport)
 	txCl.QueryID = txn.NewQueryID(co.clusterURI(), timeout)
 	tc := &txn.Coordinator{Client: txCl}
+	if m := co.Metrics; m != nil {
+		m.Updates.Inc()
+		tc.Metrics = m.Txn
+	}
 	primaries := make([]string, len(parts))
 	for i, part := range parts {
 		primaries[i] = co.Table.Primary(part.shard)
@@ -527,8 +558,13 @@ func (co *Coordinator) abortPeer(txCl *client.Client, uri string) {
 }
 
 func (co *Coordinator) evict(shard int, uri string, reason error) {
-	if co.Table.Evict(shard, uri) && co.OnEvict != nil {
-		co.OnEvict(shard, uri, reason)
+	if co.Table.Evict(shard, uri) {
+		if m := co.Metrics; m != nil {
+			m.Evictions.Inc()
+		}
+		if co.OnEvict != nil {
+			co.OnEvict(shard, uri, reason)
+		}
 	}
 }
 

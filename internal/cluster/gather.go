@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"xrpc/internal/client"
 	"xrpc/internal/soap"
@@ -26,9 +27,10 @@ const DefaultMaxShardBuffer = 1 << 20
 
 // shardStream is one shard's open response during a gather.
 type shardStream struct {
-	shard int
-	sr    *client.StreamedResponse
-	err   error
+	shard   int
+	sr      *client.StreamedResponse
+	err     error
+	openDur time.Duration // send → response stream open (slow-log fodder)
 }
 
 func (co *Coordinator) shardWindow() int {
@@ -43,20 +45,21 @@ func (co *Coordinator) shardWindow() int {
 // for every attempt, never re-encoding. Failover happens only at open:
 // once a response stream is being merged, its bytes are already part of
 // the output and a mid-stream failure aborts the gather.
-func (co *Coordinator) openShard(shard int, body []byte, calls int) (*client.StreamedResponse, error) {
+func (co *Coordinator) openShard(shard int, body []byte, calls int) (*client.StreamedResponse, int, error) {
 	replicas := co.Table.Replicas(shard)
 	var lastErr error
-	for _, uri := range replicas {
+	for a, uri := range replicas {
 		sr, err := co.Client.SendStreamed(uri, body, calls, co.shardWindow())
 		if err == nil {
-			return sr, nil
+			return sr, a, nil
 		}
 		if !client.Retriable(err) {
-			return nil, err
+			return nil, a, err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("all %d replica(s) unreachable: %w", len(replicas), lastErr)
+	return nil, len(replicas) - 1,
+		fmt.Errorf("all %d replica(s) unreachable: %w", len(replicas), lastErr)
 }
 
 // openShardStreams opens all shard streams concurrently and waits for
@@ -73,7 +76,11 @@ func (co *Coordinator) openShardStreams(body []byte, calls int) ([]*shardStream,
 		wg.Add(1)
 		go func(c *shardStream) {
 			defer wg.Done()
-			c.sr, c.err = co.openShard(c.shard, body, calls)
+			t0 := time.Now()
+			var failovers int
+			c.sr, failovers, c.err = co.openShard(c.shard, body, calls)
+			c.openDur = time.Since(t0)
+			co.Metrics.observeOpen(c.shard, c.openDur, failovers)
 		}(conns[s])
 	}
 	wg.Wait()
@@ -142,6 +149,30 @@ func gatherStreams(conns []*shardStream, calls int,
 	return nil
 }
 
+// gatherObserved wraps gatherStreams with merge timing and per-shard
+// time-to-first-merged-item. With no metrics attached it is exactly
+// gatherStreams — no clock reads, no wrapper closure on the item path.
+func (co *Coordinator) gatherObserved(conns []*shardStream, calls int,
+	begin func() error, item func(shard int, it xdm.Item) error, end func() error) error {
+
+	m := co.Metrics
+	if m == nil {
+		return gatherStreams(conns, calls, begin, item, end)
+	}
+	start := time.Now()
+	seen := make([]bool, len(m.FirstItem))
+	wrapped := func(shard int, it xdm.Item) error {
+		if shard < len(seen) && !seen[shard] {
+			seen[shard] = true
+			m.FirstItem[shard].ObserveDuration(time.Since(start))
+		}
+		return item(shard, it)
+	}
+	err := gatherStreams(conns, calls, begin, wrapped, end)
+	m.Merge.ObserveDuration(time.Since(start))
+	return err
+}
+
 // Scatter sends the read-only bulk request to the shards and merges the
 // responses in shard order, incrementally: result i of the merged
 // response is the concatenation, in shard order, of every shard's
@@ -176,14 +207,20 @@ func (co *Coordinator) scatterDirect(br *client.BulkRequest) ([]xdm.Sequence, er
 	}
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
-	merged, _, err := co.gatherCapture(enc.Bytes(), len(br.Calls), false)
+	merged, _, err := co.gatherCapture(br, enc.Bytes(), false)
 	return merged, err
 }
 
 // gatherCapture runs the streamed broadcast gather; with capture set it
 // additionally records each shard's own result sequences (the per-shard
 // split the result cache needs to refresh stale shards individually).
-func (co *Coordinator) gatherCapture(body []byte, calls int, capture bool) ([]xdm.Sequence, [][]xdm.Sequence, error) {
+func (co *Coordinator) gatherCapture(br *client.BulkRequest, body []byte, capture bool) ([]xdm.Sequence, [][]xdm.Sequence, error) {
+	calls := len(br.Calls)
+	co.Metrics.countScatter("broadcast")
+	var start time.Time
+	if co.Metrics != nil || co.SlowLog != nil {
+		start = time.Now()
+	}
 	conns, err := co.openShardStreams(body, calls)
 	if err != nil {
 		return nil, nil, err
@@ -198,7 +235,7 @@ func (co *Coordinator) gatherCapture(body []byte, calls int, capture bool) ([]xd
 	}
 	merged := make([]xdm.Sequence, 0, calls)
 	var cur xdm.Sequence
-	err = gatherStreams(conns, calls,
+	err = co.gatherObserved(conns, calls,
 		func() error { cur = nil; return nil },
 		func(shard int, it xdm.Item) error {
 			cur = append(cur, it)
@@ -210,6 +247,9 @@ func (co *Coordinator) gatherCapture(body []byte, calls int, capture bool) ([]xd
 		func() error { merged = append(merged, cur); return nil })
 	if err != nil {
 		return nil, nil, err
+	}
+	if !start.IsZero() {
+		co.observeScatter(br, len(conns), conns, time.Since(start))
 	}
 	return merged, perShard, nil
 }
@@ -268,6 +308,11 @@ func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error 
 // per-shard read-ahead windows.
 func (co *Coordinator) gatherStreamCapture(br *client.BulkRequest, body []byte, w io.Writer, capture bool) ([]xdm.Sequence, [][]xdm.Sequence, error) {
 	calls := len(br.Calls)
+	co.Metrics.countScatter("broadcast")
+	var start time.Time
+	if co.Metrics != nil || co.SlowLog != nil {
+		start = time.Now()
+	}
 	conns, err := co.openShardStreams(body, calls)
 	if err != nil {
 		return nil, nil, err
@@ -286,7 +331,7 @@ func (co *Coordinator) gatherStreamCapture(br *client.BulkRequest, body []byte, 
 	out := soap.NewStreamEncoder(w, 0)
 	defer out.Release()
 	out.BeginResponse(br.ModuleURI, br.Func)
-	err = gatherStreams(conns, calls,
+	err = co.gatherObserved(conns, calls,
 		func() error {
 			out.BeginSequence()
 			cur = nil
@@ -313,6 +358,9 @@ func (co *Coordinator) gatherStreamCapture(br *client.BulkRequest, body []byte, 
 	out.EndResponse(nil)
 	if err := out.Flush(); err != nil {
 		return nil, nil, err
+	}
+	if !start.IsZero() {
+		co.observeScatter(br, len(conns), conns, time.Since(start))
 	}
 	return merged, perShard, nil
 }

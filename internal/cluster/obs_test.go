@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"xrpc/internal/netsim"
+	"xrpc/internal/obs"
+	"xrpc/internal/server"
+	"xrpc/internal/xmark"
+)
+
+// TestObsSmoke is the `make obssmoke` gate: a 2-shard cached cluster
+// with the full observability layer attached — one shared registry over
+// shard servers, coordinator, result cache, client and netsim — driven
+// cold → warm → routed update → post-write, then scraped through the
+// debug endpoints. Asserts the counters that must move at each stage,
+// and that one trace ID minted at the coordinator's front door appears
+// in BOTH shards' slow-query logs.
+func TestObsSmoke(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	const persons = 40
+	dep := deployPersonsCached(t, net, persons, 2, 1)
+	co := dep.Coordinator()
+
+	reg := obs.NewRegistry()
+	co.Metrics = NewMetrics(reg, 2)
+	co.SlowLog = obs.NewSlowLog(slog.New(slog.NewTextHandler(io.Discard, nil)), time.Nanosecond)
+	co.ResultCache.RegisterMetrics(reg)
+	co.Client.RegisterMetrics(reg)
+	net.RegisterMetrics(reg)
+
+	// per-shard servers: request metrics + cache tiers on the shared
+	// registry (shard="N" labels), slow log into a capturable buffer
+	// with a zero-ish threshold so every request is logged
+	shardLogs := make([]*bytes.Buffer, 2)
+	for s := 0; s < 2; s++ {
+		shardLogs[s] = &bytes.Buffer{}
+		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(s)}
+		srv := dep.Servers[s][0]
+		srv.Metrics = server.NewMetrics(reg, lbl)
+		srv.RegisterCacheMetrics(reg, lbl)
+		srv.SlowLog = obs.NewSlowLog(slog.New(slog.NewTextHandler(shardLogs[s], nil)), time.Nanosecond)
+	}
+
+	// --- cold read: tier-2 miss, pruned scatter to both shards
+	trace := obs.NewTraceID()
+	read := getPersonRequest(xmark.PersonID(2), xmark.PersonID(persons-3))
+	read.TraceID = trace
+	if _, err := co.Scatter(read); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.MustGather("xrpc_resultcache_misses_total"); n != 1 {
+		t.Fatalf("cold read: resultcache misses = %v, want 1", n)
+	}
+	if n := reg.MustGather("xrpc_cluster_scatters_total", obs.Label{Key: "mode", Value: "pruned"}); n < 1 {
+		t.Fatalf("cold read: pruned scatters = %v, want >= 1", n)
+	}
+
+	// --- warm read: tier-2 hit, shards see only the shardInfo probe
+	if _, err := co.Scatter(read); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.MustGather("xrpc_resultcache_hits_total"); n != 1 {
+		t.Fatalf("warm read: resultcache hits = %v, want 1", n)
+	}
+	if n := reg.MustGather("xrpc_resultcache_revalidations_total"); n < 1 {
+		t.Fatalf("warm read: revalidations = %v, want >= 1", n)
+	}
+
+	// --- routed update: one 2PC commit over the touched primary
+	write := setCityRequest("Obsville", xmark.PersonID(2))
+	write.TraceID = trace
+	if _, err := co.Update(write); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.MustGather("xrpc_cluster_updates_total"); n != 1 {
+		t.Fatalf("updates = %v, want 1", n)
+	}
+	if n := reg.MustGather("xrpc_txn_prepares_total"); n != 1 {
+		t.Fatalf("2PC prepares = %v, want 1 (single-shard write)", n)
+	}
+	if n := reg.MustGather("xrpc_txn_commits_total"); n != 1 {
+		t.Fatalf("2PC commits = %v, want 1", n)
+	}
+
+	// --- post-write read: the version fence moved, so the entry
+	// refreshes (partial hit) instead of serving stale
+	if _, err := co.Scatter(read); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.MustGather("xrpc_resultcache_partial_hits_total") +
+		reg.MustGather("xrpc_resultcache_misses_total"); n < 2 {
+		t.Fatalf("post-write read did not re-query: partial+misses = %v", n)
+	}
+
+	// --- per-shard request metrics and latency histograms moved
+	for s := 0; s < 2; s++ {
+		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(s)}
+		if n := reg.MustGather("xrpc_server_request_seconds", lbl); n < 2 {
+			t.Fatalf("shard %d: latency observations = %v, want >= 2", s, n)
+		}
+		if n := reg.MustGather("xrpc_cluster_shard_call_seconds", lbl); n < 1 {
+			t.Fatalf("shard %d: per-shard call observations = %v, want >= 1", s, n)
+		}
+	}
+	if n := reg.MustGather("xrpc_cluster_scatter_seconds"); n < 1 {
+		t.Fatalf("scatter latency observations = %v, want >= 1", n)
+	}
+	if n := reg.MustGather("xrpc_netsim_requests_total"); n < 4 {
+		t.Fatalf("netsim requests = %v, want >= 4", n)
+	}
+
+	// --- one trace ID, both shards' slow-query logs
+	for s := 0; s < 2; s++ {
+		logged := shardLogs[s].String()
+		if !strings.Contains(logged, trace) {
+			t.Fatalf("shard %d slow-query log has no trace %s:\n%s", s, trace, logged)
+		}
+		if !strings.Contains(logged, "query_hash=") {
+			t.Fatalf("shard %d slow-query log has no query hash:\n%s", s, logged)
+		}
+	}
+
+	// --- debug endpoints: scrape the same registry over HTTP
+	ts := httptest.NewServer(obs.DebugMux(reg, dep.Table.Validate))
+	defer ts.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+	code, scrape := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE xrpc_cluster_scatter_seconds histogram",
+		`xrpc_cluster_scatters_total{mode="pruned"}`,
+		`xrpc_server_requests_total{shard="0",method="getPerson"}`,
+		`xrpc_server_requests_total{shard="1",method="getPerson"}`,
+		"xrpc_resultcache_hits_total 1",
+		"xrpc_txn_commits_total 1",
+		`xrpc_cluster_shard_open_seconds_bucket{shard="0",le="+Inf"}`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("/metrics scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", scrape)
+	}
+}

@@ -3,9 +3,11 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 
 	"xrpc/internal/client"
+	"xrpc/internal/obs"
 	"xrpc/internal/soap"
 )
 
@@ -21,6 +23,10 @@ type Proxy struct {
 	// MaxRequestBytes bounds one request body (0 = 256 MiB, matching
 	// server.DefaultMaxRequestBytes).
 	MaxRequestBytes int64
+	// Log, when non-nil, receives structured records for proxy-level
+	// failures (malformed requests, scatter faults, mid-stream aborts),
+	// each carrying the request's trace ID. Nil disables logging.
+	Log *slog.Logger
 }
 
 const proxyMaxRequestBytes = 256 << 20
@@ -48,9 +54,19 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/soap+xml; charset=utf-8")
 	req, err := soap.DecodeRequest(body)
 	if err != nil {
+		if p.Log != nil {
+			p.Log.Error("malformed request", "remote", r.RemoteAddr, "err", err)
+		}
 		soap.EncodeFaultTo(w, &soap.Fault{Code: "env:Sender",
 			Reason: fmt.Sprintf("malformed request: %v", err)})
 		return
+	}
+	// the proxy is the cluster's front door: a request arriving without a
+	// trace ID is minted one here, and the ID rides the envelope to every
+	// shard (and into each shard's slow-query log) via BulkRequest
+	trace := req.TraceID
+	if trace == "" {
+		trace = obs.NewTraceID()
 	}
 	br := &client.BulkRequest{
 		ModuleURI:  req.Module,
@@ -61,11 +77,16 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Calls:      req.Calls,
 		ByFragment: req.ByFragment,
 		SeqNrs:     req.SeqNrs,
+		TraceID:    trace,
 	}
 	co := p.Co.withQueryID(req.QueryID)
 	if req.Updating {
 		results, err := co.Update(br)
 		if err != nil {
+			if p.Log != nil {
+				p.Log.Error("update failed", "trace_id", trace,
+					"module", req.Module, "method", req.Method, "err", err)
+			}
 			soap.EncodeFaultTo(w, proxyFault(err))
 			return
 		}
@@ -81,6 +102,10 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err := co.ScatterStream(br, sink); err != nil {
 		if sink.wrote == 0 {
 			// nothing left the process yet: a clean fault envelope
+			if p.Log != nil {
+				p.Log.Error("scatter failed", "trace_id", trace,
+					"module", req.Module, "method", req.Method, "err", err)
+			}
 			soap.EncodeFaultTo(w, proxyFault(err))
 			return
 		}
@@ -88,6 +113,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// partial envelope must not arrive looking complete, so abort
 		// the connection — the client's decoder sees truncation, not a
 		// silently shortened result
+		if p.Log != nil {
+			p.Log.Error("scatter aborted mid-stream", "trace_id", trace,
+				"module", req.Module, "method", req.Method,
+				"bytes_written", sink.wrote, "err", err)
+		}
 		panic(http.ErrAbortHandler)
 	}
 }
@@ -138,6 +168,8 @@ func (co *Coordinator) withQueryID(qid *soap.QueryID) *Coordinator {
 		TxnTimeout:     co.TxnTimeout,
 		MaxShardBuffer: co.MaxShardBuffer,
 		OnEvict:        co.OnEvict,
+		Metrics:        co.Metrics,
+		SlowLog:        co.SlowLog,
 	}
 	co.mu.RLock()
 	sib.routes = append([]RouteSpec(nil), co.routes...)

@@ -240,7 +240,7 @@ func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, er
 	if pruned {
 		merged, err = co.scatterPruned(br, spec)
 	} else {
-		merged, perShard, err = co.gatherCapture(body, len(br.Calls), preErr == nil)
+		merged, perShard, err = co.gatherCapture(br, body, preErr == nil)
 	}
 	if err != nil {
 		return nil, err

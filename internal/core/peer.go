@@ -17,6 +17,7 @@ import (
 	"xrpc/internal/interp"
 	"xrpc/internal/modules"
 	"xrpc/internal/netsim"
+	"xrpc/internal/obs"
 	"xrpc/internal/pathfinder"
 	"xrpc/internal/server"
 	"xrpc/internal/soap"
@@ -148,6 +149,28 @@ func (p *Peer) LoadDocument(name, xml string) error {
 // URI and optional location hints.
 func (p *Peer) RegisterModule(src string, hints ...string) error {
 	return p.Registry.Register(src, hints...)
+}
+
+// EnableObs attaches the observability layer to the peer: request-path
+// metrics and the counters of every server-side cache tier registered on
+// reg, and slow (may be nil) as the structured slow-query log. Labels —
+// typically shard="N" — distinguish peers sharing one registry. Call
+// before serving traffic; a peer without EnableObs runs exactly as
+// before (the nil-instrument fast path).
+func (p *Peer) EnableObs(reg *obs.Registry, slow *obs.SlowLog, labels ...obs.Label) {
+	p.Server.Metrics = server.NewMetrics(reg, labels...)
+	p.Server.RegisterCacheMetrics(reg, labels...)
+	p.Server.SlowLog = slow
+}
+
+// Ready reports whether the peer can usefully serve traffic: it must
+// hold at least one document or one registered module. The /readyz
+// debug endpoint surfaces the error.
+func (p *Peer) Ready() error {
+	if len(p.Store.Names()) > 0 || len(p.Registry.URIs()) > 0 {
+		return nil
+	}
+	return fmt.Errorf("peer %s: no documents loaded and no modules registered", p.Self)
 }
 
 // Handler returns the peer's network handler for registration on a

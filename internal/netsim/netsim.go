@@ -15,9 +15,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"xrpc/internal/obs"
 )
 
 // Handler is a peer endpoint: it receives an XRPC (or WS-AT) message
@@ -234,6 +237,36 @@ func (n *Network) PeerStats(dest string) (requests, sent, received int64) {
 		return 0, 0, 0
 	}
 	return ps.Requests.Load(), ps.BytesSent.Load(), ps.BytesReceived.Load()
+}
+
+// RegisterMetrics promotes the network's traffic counters onto a
+// registry: the aggregate counters plus one series per peer registered
+// at call time. The counters stay the same atomics experiments read and
+// ResetStats zeroes — the registry holds readers, not copies.
+func (n *Network) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("xrpc_netsim_requests_total",
+		"Requests through the simulated network.", n.Stats.Requests.Load)
+	reg.CounterFunc("xrpc_netsim_sent_bytes_total",
+		"Request bytes through the simulated network.", n.Stats.BytesSent.Load)
+	reg.CounterFunc("xrpc_netsim_received_bytes_total",
+		"Response bytes through the simulated network.", n.Stats.BytesReceived.Load)
+	n.mu.RLock()
+	uris := make([]string, 0, len(n.peers))
+	for uri := range n.peers {
+		uris = append(uris, uri)
+	}
+	n.mu.RUnlock()
+	sort.Strings(uris)
+	for _, uri := range uris {
+		ps := n.peerStats(uri)
+		reg.CounterFunc("xrpc_netsim_peer_requests_total",
+			"Requests delivered to one peer.", ps.Requests.Load, obs.Label{Key: "peer", Value: uri})
+		reg.CounterFunc("xrpc_netsim_peer_received_bytes_total",
+			"Response bytes produced by one peer.", ps.BytesReceived.Load, obs.Label{Key: "peer", Value: uri})
+	}
 }
 
 // ResetStats zeroes the aggregate and per-peer traffic counters.

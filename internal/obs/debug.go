@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the operator-facing HTTP mux served on -debug-addr:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/pprof/  the standard pprof handlers
+//	/debug/vars    expvar (Go runtime memstats, cmdline)
+//	/healthz       liveness — 200 whenever the process serves HTTP
+//	/readyz        readiness — 200 when ready() returns nil, else 503
+//	               with the error text (docs loaded, modules registered,
+//	               routing table valid)
+//
+// ready may be nil, in which case /readyz always reports ready. The
+// pprof handlers are registered explicitly because this mux is not
+// http.DefaultServeMux.
+func DebugMux(reg *Registry, ready func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
+	return mux
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the full exposition format: HELP/TYPE
+// lines, label rendering, cumulative histogram buckets with _sum and
+// _count, counter funcs and gauge funcs, families sorted by name.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	c := reg.NewCounter("xrpc_test_requests_total", "Requests handled.", Label{"shard", "0"})
+	c.Add(3)
+	reg.CounterFunc("xrpc_test_promoted_total", "Promoted external counter.", func() int64 { return 42 })
+	reg.GaugeFunc("xrpc_test_entries", "Entries resident.", func() float64 { return 7 })
+	h := reg.NewHistogram("xrpc_test_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1}, Label{"shard", "0"})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	v := reg.NewCounterVec("xrpc_test_calls_total", "Calls by method.", "method")
+	v.With("get").Add(2)
+	v.With("put").Inc()
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP xrpc_test_calls_total Calls by method.
+# TYPE xrpc_test_calls_total counter
+xrpc_test_calls_total{method="get"} 2
+xrpc_test_calls_total{method="put"} 1
+# HELP xrpc_test_entries Entries resident.
+# TYPE xrpc_test_entries gauge
+xrpc_test_entries 7
+# HELP xrpc_test_latency_seconds Request latency.
+# TYPE xrpc_test_latency_seconds histogram
+xrpc_test_latency_seconds_bucket{shard="0",le="0.01"} 1
+xrpc_test_latency_seconds_bucket{shard="0",le="0.1"} 3
+xrpc_test_latency_seconds_bucket{shard="0",le="1"} 3
+xrpc_test_latency_seconds_bucket{shard="0",le="+Inf"} 4
+xrpc_test_latency_seconds_sum{shard="0"} 5.105
+xrpc_test_latency_seconds_count{shard="0"} 4
+# HELP xrpc_test_promoted_total Promoted external counter.
+# TYPE xrpc_test_promoted_total counter
+xrpc_test_promoted_total 42
+# HELP xrpc_test_requests_total Requests handled.
+# TYPE xrpc_test_requests_total counter
+xrpc_test_requests_total{shard="0"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping checks backslash, quote and newline escaping in
+// label values per the exposition format.
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("x_total", "h", Label{"k", "a\"b\\c\nd"}).Inc()
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	want := `x_total{k="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped sample %q not found in:\n%s", want, b.String())
+	}
+}
+
+// TestNilSafety: every instrument method must be a no-op on nil
+// receivers so uninstrumented deployments run the same code.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.NewCounter("a_total", "h")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	h := reg.NewHistogram("b_seconds", "h", DefLatencyBuckets)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 {
+		t.Error("nil histogram has a count")
+	}
+	v := reg.NewCounterVec("c_total", "h", "k")
+	v.With("x").Inc()
+	reg.CounterFunc("d_total", "h", func() int64 { return 1 })
+	reg.GaugeFunc("e", "h", func() float64 { return 1 })
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var sl *SlowLog
+	if sl.Slow(time.Hour) {
+		t.Error("nil slow log claims slow")
+	}
+	sl.Log("nope")
+}
+
+// TestRegistryRace hammers counters, histograms, vec creation and
+// concurrent scrapes; run under -race this is the registry's thread
+// safety proof.
+func TestRegistryRace(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("race_total", "h")
+	h := reg.NewHistogram("race_seconds", "h", DefLatencyBuckets)
+	v := reg.NewCounterVec("race_vec_total", "h", "worker")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-4)
+				v.With(name).Inc()
+				if i%500 == 0 {
+					reg.WritePrometheus(&bytes.Buffer{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := v.With(string(rune('a' + w))).Value(); got != iters {
+			t.Errorf("vec[%c] = %d, want %d", 'a'+w, got, iters)
+		}
+	}
+}
+
+// TestInstrumentAllocs: the hot-path operations must not allocate.
+func TestInstrumentAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("alloc_total", "h")
+	h := reg.NewHistogram("alloc_seconds", "h", DefLatencyBuckets)
+	v := reg.NewCounterVec("alloc_vec_total", "h", "m")
+	v.With("warm") // series creation allocates; warm it first
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(0.003)
+		v.With("warm").Inc()
+	}); n != 0 {
+		t.Errorf("hot-path instruments allocate %.1f times per op, want 0", n)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("mux_total", "h").Inc()
+	readyErr := error(nil)
+	mux := DebugMux(reg, func() error { return readyErr })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "mux_total 1") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz: code=%d", code)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz ready: code=%d", code)
+	}
+	readyErr = errTest{}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "boom") {
+		t.Errorf("/readyz not ready: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code=%d", code)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: code=%d", code)
+	}
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "boom" }
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	sl := NewSlowLog(slog.New(slog.NewTextHandler(&buf, nil)), 10*time.Millisecond)
+	if sl.Slow(5 * time.Millisecond) {
+		t.Error("5ms counted as slow with 10ms threshold")
+	}
+	if !sl.Slow(20 * time.Millisecond) {
+		t.Error("20ms not slow with 10ms threshold")
+	}
+	sl.Log("slow query", "trace_id", "t-1234", "dur_ms", 20)
+	if out := buf.String(); !strings.Contains(out, "t-1234") || !strings.Contains(out, "slow query") {
+		t.Errorf("slow log output missing fields: %q", out)
+	}
+	if NewSlowLog(nil, time.Second) != nil {
+		t.Error("nil logger should disable slow log")
+	}
+	if NewSlowLog(slog.Default(), 0) != nil {
+		t.Error("zero threshold should disable slow log")
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Errorf("trace IDs collide: %s", a)
+	}
+	if !strings.HasPrefix(a, "t-") || len(a) != 18 {
+		t.Errorf("malformed trace id %q", a)
+	}
+	if QueryHash([]byte("q1")) == QueryHash([]byte("q2")) {
+		t.Error("query hash collision on distinct inputs")
+	}
+	if QueryHash([]byte("q1")) != QueryHash([]byte("q1")) {
+		t.Error("query hash unstable")
+	}
+}

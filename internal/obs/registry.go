@@ -1,0 +1,447 @@
+// Package obs is the cluster's zero-dependency observability layer: a
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus text exposition, a trace-ID helper for cross-shard request
+// correlation, a structured slow-query log, and the debug HTTP mux that
+// serves /metrics, /debug/pprof, /healthz and /readyz.
+//
+// Instruments are built for the hot path: a Counter is one atomic add,
+// a Histogram observation is two atomic adds plus a CAS-looped float
+// sum, and every label combination is resolved to a pre-rendered string
+// at registration time so nothing on the request path formats labels or
+// allocates. All instrument methods are nil-receiver safe, so
+// instrumented code runs unchanged (and unmeasured) when no registry is
+// wired in.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension, pre-rendered at registration.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing value. The zero value is ready
+// to use; a nil *Counter discards observations.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 for the exported value to stay monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// atomicFloat is a float64 updated with a CAS loop over its bits —
+// histogram sums need float addition without a lock.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into fixed buckets chosen at
+// registration. Buckets are cumulative at export time only; Observe is
+// a linear scan over the (small, fixed) bound slice plus three atomic
+// updates and never allocates. A nil *Histogram discards observations.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomicFloat
+	total  atomic.Int64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// DefLatencyBuckets covers 100µs..10s — RPC round trips in the netsim
+// land at the low end, WAN-profile runs at the high end.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets covers 256B..64MiB message and payload sizes.
+var DefSizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+// metric is one registered time series within a family.
+type metric struct {
+	labels  string // pre-rendered `key="value",...` without braces, "" if unlabelled
+	counter *Counter
+	hist    *Histogram
+	cfn     func() int64   // counter func (promoted external atomic)
+	gfn     func() float64 // gauge func
+}
+
+// family groups series sharing a name, help string and type.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	metrics []*metric
+}
+
+// Registry holds registered instruments and renders them in Prometheus
+// text exposition format. Registration takes a lock; using a registered
+// instrument does not.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order; export sorts for determinism
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) add(name, help, typ string, m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	f.metrics = append(f.metrics, m)
+}
+
+// NewCounter registers and returns a counter. A nil registry returns
+// nil, which is safe to use and discards increments.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.add(name, help, "counter", &metric{labels: renderLabels(labels), counter: c})
+	return c
+}
+
+// NewHistogram registers and returns a histogram over the given upper
+// bounds (ascending; +Inf is implicit). A nil registry returns nil.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.add(name, help, "histogram", &metric{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — how pre-existing atomic.Int64 fields (client request counts,
+// cache hit counters, netsim byte totals) are promoted onto the
+// registry without changing their owners' types or reset semantics.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.add(name, help, "counter", &metric{labels: renderLabels(labels), cfn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time (cache entry
+// counts, resident bytes, store versions).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.add(name, help, "gauge", &metric{labels: renderLabels(labels), gfn: fn})
+}
+
+// CounterVec is a family of counters keyed by one label value resolved
+// at use (e.g. per-method request counts). The read path is an RWMutex
+// map hit; unseen values register a new series on first use.
+type CounterVec struct {
+	reg    *Registry
+	name   string
+	help   string
+	key    string
+	base   []Label
+	mu     sync.RWMutex
+	series map[string]*Counter
+}
+
+// NewCounterVec registers a counter family keyed by labelKey on top of
+// the fixed base labels. A nil registry returns nil.
+func (r *Registry) NewCounterVec(name, help, labelKey string, base ...Label) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{
+		reg: r, name: name, help: help, key: labelKey,
+		base: base, series: make(map[string]*Counter),
+	}
+}
+
+// With returns the counter for the given label value, creating and
+// registering it on first use. Safe on a nil vec (returns nil).
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.series[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.series[value]; c != nil {
+		return c
+	}
+	labels := make([]Label, 0, len(v.base)+1)
+	labels = append(labels, v.base...)
+	labels = append(labels, Label{Key: v.key, Value: value})
+	c = v.reg.NewCounter(v.name, v.help, labels...)
+	v.series[value] = c
+	return c
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format. Families are sorted by name and series keep
+// registration order, so output is deterministic for a fixed set of
+// registrations — the property the golden test pins down.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		cp := *f
+		cp.metrics = append([]*metric(nil), f.metrics...)
+		fams[n] = &cp
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var buf []byte
+	for _, n := range names {
+		f := fams[n]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		for _, m := range f.metrics {
+			switch {
+			case m.hist != nil:
+				buf = m.hist.appendTo(buf, f.name, m.labels)
+			case m.counter != nil:
+				buf = appendSample(buf, f.name, m.labels, float64(m.counter.Value()))
+			case m.cfn != nil:
+				buf = appendSample(buf, f.name, m.labels, float64(m.cfn()))
+			case m.gfn != nil:
+				buf = appendSample(buf, f.name, m.labels, m.gfn())
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendSample(buf []byte, name, labels string, v float64) []byte {
+	buf = append(buf, name...)
+	if labels != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = appendFloat(buf, v)
+	return append(buf, '\n')
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(buf, int64(v), 10)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendTo renders the histogram's cumulative buckets, sum and count.
+func (h *Histogram) appendTo(buf []byte, name, labels string) []byte {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		buf = h.appendBucket(buf, name, labels, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	buf = h.appendBucket(buf, name, labels, "+Inf", cum)
+	buf = append(buf, name...)
+	buf = append(buf, "_sum"...)
+	buf = appendLabelBlock(buf, labels)
+	buf = append(buf, ' ')
+	buf = appendFloat(buf, h.sum.load())
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count"...)
+	buf = appendLabelBlock(buf, labels)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, cum, 10)
+	return append(buf, '\n')
+}
+
+func (h *Histogram) appendBucket(buf []byte, name, labels, le string, cum int64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, "_bucket{"...)
+	if labels != "" {
+		buf = append(buf, labels...)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `le="`...)
+	buf = append(buf, le...)
+	buf = append(buf, `"} `...)
+	buf = strconv.AppendInt(buf, cum, 10)
+	return append(buf, '\n')
+}
+
+func appendLabelBlock(buf []byte, labels string) []byte {
+	if labels == "" {
+		return buf
+	}
+	buf = append(buf, '{')
+	buf = append(buf, labels...)
+	return append(buf, '}')
+}
+
+// Gather returns the current value of a counter-typed series by family
+// name and rendered label match — a test convenience, not a hot path.
+func (r *Registry) Gather(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	want := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return 0, false
+	}
+	for _, m := range f.metrics {
+		if m.labels != want {
+			continue
+		}
+		switch {
+		case m.counter != nil:
+			return float64(m.counter.Value()), true
+		case m.cfn != nil:
+			return float64(m.cfn()), true
+		case m.gfn != nil:
+			return m.gfn(), true
+		case m.hist != nil:
+			return float64(m.hist.Count()), true
+		}
+	}
+	return 0, false
+}
+
+// MustGather is Gather that panics with a descriptive message when the
+// series is absent — keeps smoke-test assertions terse.
+func (r *Registry) MustGather(name string, labels ...Label) float64 {
+	v, ok := r.Gather(name, labels...)
+	if !ok {
+		panic(fmt.Sprintf("obs: no series %s{%s}", name, renderLabels(labels)))
+	}
+	return v
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"hash/fnv"
+	"log/slog"
+	"time"
+)
+
+// NewTraceID mints a request trace ID: "t-" plus 8 random bytes in hex.
+// Minted once at the front door (proxy or standalone server) and
+// carried on the SOAP envelope so one client request is correlatable
+// across every shard's slow-query log.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "t-0000000000000000"
+	}
+	return "t-" + hex.EncodeToString(b[:])
+}
+
+// QueryHash is a stable 64-bit FNV-1a hash of query or request text —
+// what the slow-query log records instead of the (unbounded, possibly
+// sensitive) text itself, so repeat offenders group under one key.
+func QueryHash(text []byte) string {
+	h := fnv.New64a()
+	h.Write(text)
+	var buf [8]byte
+	return hex.EncodeToString(h.Sum(buf[:0]))
+}
+
+// SlowLog emits a structured record for requests slower than Threshold.
+// The hot path calls Slow first — a nil check and one comparison — and
+// only builds log attributes after it returns true, so the fast path
+// pays nothing. A nil *SlowLog or zero Threshold disables logging.
+type SlowLog struct {
+	Logger    *slog.Logger
+	Threshold time.Duration
+}
+
+// NewSlowLog returns a slow-query log writing to logger above
+// threshold; nil logger or non-positive threshold disables it.
+func NewSlowLog(logger *slog.Logger, threshold time.Duration) *SlowLog {
+	if logger == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{Logger: logger, Threshold: threshold}
+}
+
+// Slow reports whether a request of duration d should be logged.
+func (s *SlowLog) Slow(d time.Duration) bool {
+	return s != nil && s.Threshold > 0 && d >= s.Threshold
+}
+
+// Log emits one slow-query record. Callers gate on Slow first.
+func (s *SlowLog) Log(msg string, attrs ...any) {
+	if s == nil || s.Logger == nil {
+		return
+	}
+	s.Logger.Warn(msg, attrs...)
+}

@@ -142,7 +142,7 @@ func (c *countingRPC) Call(dest string, req *interp.CallRequest) (xdm.Sequence, 
 // handleCached serves a no-queryID request through the response cache:
 // hits are answered from stored bytes, misses execute against a pinned
 // snapshot and populate. Mixed requests execute only the missing calls.
-func (s *Server) handleCached(req *soap.Request, body []byte) (*soap.Response, error) {
+func (s *Server) handleCached(req *soap.Request, body []byte, meta *reqMeta) (*soap.Response, error) {
 	// the snapshot pins both the data and the version the served (and
 	// populated) results are valid at; a commit landing mid-request
 	// steps the live version but not this snapshot, so entries written
@@ -163,6 +163,9 @@ func (s *Server) handleCached(req *soap.Request, body []byte) (*soap.Response, e
 			missing = append(missing, ci)
 		}
 	}
+	meta.usedCache = true
+	meta.cacheHits = len(req.Calls) - len(missing)
+	meta.cacheMiss = len(missing)
 	if len(missing) == 0 {
 		return &soap.Response{Module: req.Module, Method: req.Method, Raw: raw}, nil
 	}

@@ -18,6 +18,7 @@ import (
 
 	"xrpc/internal/interp"
 	"xrpc/internal/modules"
+	"xrpc/internal/obs"
 	"xrpc/internal/soap"
 	"xrpc/internal/store"
 	"xrpc/internal/xdm"
@@ -94,6 +95,12 @@ type Server struct {
 	RespCache *RespCache
 	// Now is the clock (replaceable in tests).
 	Now func() time.Time
+	// Metrics, when set, records the request path onto a registry
+	// (counts, latency, sizes, faults). Nil disables recording.
+	Metrics *Metrics
+	// SlowLog, when set, emits a structured record for requests slower
+	// than its threshold (trace ID, query hash, cache disposition).
+	SlowLog *obs.SlowLog
 
 	iso isoManager
 
@@ -170,19 +177,23 @@ func (s *Server) HandleXRPCStream(path string, body []byte) (io.ReadCloser, erro
 // enc.
 func (s *Server) handleInto(enc *soap.Encoder, body []byte) {
 	start := s.Now()
+	var meta reqMeta
+	var fault *soap.Fault
 	defer func() {
 		d := time.Since(start)
 		s.mu.Lock()
 		s.HandleTime += d
 		s.mu.Unlock()
+		s.observe(&meta, body, d, fault)
 	}()
-	resp, err := s.handle(body)
+	resp, err := s.handle(body, &meta)
 	if err != nil {
 		code := "env:Receiver"
 		if _, isXQ := err.(*xdm.Error); isXQ {
 			code = "env:Sender"
 		}
-		enc.EncodeFault(&soap.Fault{Code: code, Reason: err.Error()})
+		fault = &soap.Fault{Code: code, Reason: err.Error()}
+		enc.EncodeFault(fault)
 		return
 	}
 	enc.EncodeResponse(resp)
@@ -217,6 +228,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if int64(len(body)) > maxBytes {
+		if s.Metrics != nil {
+			s.Metrics.Rejections.Inc()
+		}
 		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxBytes),
 			http.StatusRequestEntityTooLarge)
 		return
@@ -230,6 +244,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sink := &flushWriter{w: w}
 	if f, ok := w.(http.Flusher); ok {
 		sink.f = f
+	}
+	if s.Metrics != nil {
+		sink.n = s.Metrics.ResponseBytes
 	}
 	if s.Gzip && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
 		w.Header().Set("Content-Encoding", "gzip")
@@ -253,10 +270,12 @@ type flushWriter struct {
 	w  io.Writer
 	gz *gzip.Writer
 	f  http.Flusher
+	n  *obs.Counter // pre-compression response bytes (nil-safe)
 }
 
 func (fw *flushWriter) Write(p []byte) (int, error) {
 	n, err := fw.w.Write(p)
+	fw.n.Add(int64(n))
 	if err != nil {
 		return n, err
 	}
@@ -271,11 +290,12 @@ func (fw *flushWriter) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-func (s *Server) handle(body []byte) (*soap.Response, error) {
+func (s *Server) handle(body []byte, meta *reqMeta) (*soap.Response, error) {
 	req, err := soap.DecodeRequest(body)
 	if err != nil {
 		return nil, xdm.Errorf("XRPC0003", "malformed request: %v", err)
 	}
+	meta.req = req
 	s.mu.Lock()
 	s.ServedRequests++
 	s.ServedCalls += int64(len(req.Calls))
@@ -293,7 +313,7 @@ func (s *Server) handle(body []byte) (*soap.Response, error) {
 	// snapshot and bypass it (their repeatable-read state is per-query,
 	// not per-version)
 	if s.RespCache != nil && req.QueryID == nil {
-		return s.handleCached(req, body)
+		return s.handleCached(req, body, meta)
 	}
 
 	// pick the database state: latest (rule R_Fr) or the queryID's

@@ -210,6 +210,7 @@ func (d *decoder) decodeRequest() (*Request, error) {
 		Method:   d.attrLocalScan("method"),
 		Location: d.attrLocalScan("location"),
 		Updating: d.attrLocalScan("updCall") == "true",
+		TraceID:  d.attrLocalScan("traceID"),
 	}
 	scanIntInto(d.attrLocalScan("arity"), &req.Arity)
 	if d.sc.selfClose {

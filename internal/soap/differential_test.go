@@ -39,6 +39,7 @@ func fixtureRequests(t testing.TB) []*Request {
 			Module: "films", Method: "filmsByActor", Arity: 1,
 			Location: "http://x.example.org/film.xq",
 			Updating: true,
+			TraceID:  "t-00c0ffee1badcafe",
 			QueryID: &QueryID{
 				ID:        "q-123",
 				Host:      "xrpc://a.example.org",
@@ -175,7 +176,8 @@ func assertAgree(t *testing.T, msg []byte) {
 	}
 	if pr, dr := pull.Request, dom.Request; pr != nil {
 		if pr.Module != dr.Module || pr.Method != dr.Method || pr.Arity != dr.Arity ||
-			pr.Location != dr.Location || pr.Updating != dr.Updating {
+			pr.Location != dr.Location || pr.Updating != dr.Updating ||
+			pr.TraceID != dr.TraceID {
 			t.Fatalf("request headers disagree: pull %+v, dom %+v", pr, dr)
 		}
 		if (pr.QueryID == nil) != (dr.QueryID == nil) {
@@ -368,6 +370,9 @@ func TestDecoderAgreesWithDOMOnRandomRequests(t *testing.T) {
 			Updating: r.Intn(2) == 0,
 		}
 		if r.Intn(2) == 0 {
+			req.TraceID = "t-" + benignText(r)
+		}
+		if r.Intn(2) == 0 {
 			req.QueryID = &QueryID{
 				ID:        "q-" + randomText(r),
 				Host:      "xrpc://h.example.org/" + benignText(r),
@@ -456,6 +461,7 @@ newline`,
 			Method:   "f",
 			Arity:    1,
 			Location: "loc-" + h,
+			TraceID:  "tr-" + h,
 			QueryID: &QueryID{
 				ID:      "id-" + h,
 				Host:    "host-" + h,
@@ -477,6 +483,9 @@ newline`,
 		}
 		if back.Location != "loc-"+h {
 			t.Errorf("hostile %q: location = %q", h, back.Location)
+		}
+		if back.TraceID != "tr-"+h {
+			t.Errorf("hostile %q: traceID = %q", h, back.TraceID)
 		}
 		if back.QueryID == nil || back.QueryID.Host != "host-"+h {
 			t.Errorf("hostile %q: queryID host = %+v", h, back.QueryID)

@@ -219,6 +219,9 @@ func (e *Encoder) EncodeRequest(r *Request) {
 	e.int(int64(r.Arity))
 	e.byte('"')
 	e.attr("xrpc:location", r.Location)
+	if r.TraceID != "" {
+		e.attr("xrpc:traceID", r.TraceID)
+	}
 	if r.Updating {
 		e.str(` xrpc:updCall="true"`)
 	}

@@ -30,6 +30,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`<?xml version="1.0"?><S:Envelope xmlns:S="e"><S:Body><x:request x:module='m' x:method='f' x:arity='1' x:location='l' xmlns:x="u"><x:call><x:sequence><x:atomic-value xsi:type="xs:integer" xmlns:xsi="i">7</x:atomic-value></x:sequence></x:call></x:request></S:Body></S:Envelope>`))
 	f.Add([]byte(`<env:Envelope><env:Body><xrpc:response xrpc:module="m" xrpc:method="f"><xrpc:sequence><xrpc:element><a b="&#65;"><![CDATA[<raw>]]></a></xrpc:element></xrpc:sequence></xrpc:response></env:Body></env:Envelope>`))
 	f.Add([]byte(`<!DOCTYPE x [<!ENTITY y "z">]><env:Envelope><env:Body/></env:Envelope>`))
+	// traceID header attribute: hand-written form plus the empty-value
+	// edge (decodes to "", re-encodes without the attribute — fixpoint
+	// after one normalization round)
+	f.Add([]byte(`<env:Envelope><env:Body><xrpc:request xrpc:module="m" xrpc:method="f" xrpc:arity="0" xrpc:location="l" xrpc:traceID="t-deadbeef00000000"><xrpc:call/></xrpc:request></env:Body></env:Envelope>`))
+	f.Add([]byte(`<env:Envelope><env:Body><xrpc:request xrpc:module="m" xrpc:method="f" xrpc:arity="0" xrpc:location="l" xrpc:traceID=""><xrpc:call/></xrpc:request></env:Body></env:Envelope>`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data) // must not panic
@@ -65,6 +70,7 @@ func FuzzDecodeStream(f *testing.F) {
 	f.Add([]byte(`<?xml version="1.0"?><S:Envelope xmlns:S="e"><S:Body><x:request x:module='m' x:method='f' x:arity='1' x:location='l' xmlns:x="u"><x:call><x:sequence><x:atomic-value xsi:type="xs:integer" xmlns:xsi="i">7</x:atomic-value></x:sequence></x:call></x:request></S:Body></S:Envelope>`), uint8(2))
 	f.Add([]byte(`<env:Envelope><env:Body><xrpc:response xrpc:module="m" xrpc:method="f"><xrpc:sequence><xrpc:element><a b="&#65;"><![CDATA[<raw>]]></a></xrpc:element></xrpc:sequence></xrpc:response></env:Body></env:Envelope>`), uint8(7))
 	f.Add([]byte(`<!DOCTYPE x [<!ENTITY y "z">]><env:Envelope><env:Body/></env:Envelope>`), uint8(255))
+	f.Add([]byte(`<env:Envelope><env:Body><xrpc:request xrpc:module="m" xrpc:method="f" xrpc:arity="0" xrpc:location="l" xrpc:traceID="t-deadbeef00000000"><xrpc:call/></xrpc:request></env:Body></env:Envelope>`), uint8(5))
 
 	f.Fuzz(func(t *testing.T, data []byte, size uint8) {
 		chunk := int(size)%64 + 1

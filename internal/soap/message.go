@@ -52,6 +52,13 @@ type Request struct {
 	Location string // at-hint location of the module
 	Updating bool   // calls an XQUF updating function
 	QueryID  *QueryID
+	// TraceID correlates one client request across every shard it
+	// scatters to: minted at the front door (proxy or standalone
+	// server), carried on the envelope as xrpc:traceID next to the
+	// queryID, surfaced in each peer's slow-query log. Empty means
+	// untraced — the attribute is omitted, keeping old peers
+	// byte-compatible.
+	TraceID string
 	// Calls holds the actual parameters: Calls[i][j] is parameter j of
 	// call i. len(Calls[i]) == Arity for every i.
 	Calls [][]xdm.Sequence
@@ -198,6 +205,7 @@ func decodeRequestDOM(rq *xdm.Node) (*Request, error) {
 		Method:   attrLocal(rq, "method"),
 		Location: attrLocal(rq, "location"),
 		Updating: attrLocal(rq, "updCall") == "true",
+		TraceID:  attrLocal(rq, "traceID"),
 	}
 	fmt.Sscanf(attrLocal(rq, "arity"), "%d", &req.Arity)
 	if q := firstChildLocal(rq, "queryID"); q != nil {

@@ -40,6 +40,9 @@ func EncodeRequestRef(r *Request) []byte {
 	envelopeOpenRef(&b)
 	fmt.Fprintf(&b, `<xrpc:request xrpc:module=%q xrpc:method=%q xrpc:arity="%d" xrpc:location=%q`,
 		r.Module, r.Method, r.Arity, r.Location)
+	if r.TraceID != "" {
+		fmt.Fprintf(&b, ` xrpc:traceID=%q`, r.TraceID)
+	}
 	if r.Updating {
 		b.WriteString(` xrpc:updCall="true"`)
 	}

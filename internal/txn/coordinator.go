@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"xrpc/internal/client"
+	"xrpc/internal/obs"
 	"xrpc/internal/soap"
 	"xrpc/internal/xdm"
 )
@@ -37,12 +38,45 @@ func NewQueryID(host string, timeout int) *soap.QueryID {
 	}
 }
 
+// Metrics counts 2PC verbs across transactions. Cluster coordinators
+// create one txn.Coordinator per updating query, so the counters live
+// here and are shared by reference; a nil *Metrics disables counting.
+type Metrics struct {
+	Prepares        *obs.Counter
+	PrepareFailures *obs.Counter
+	Commits         *obs.Counter
+	CommitFailures  *obs.Counter
+	Aborts          *obs.Counter
+}
+
+// NewMetrics registers the 2PC counter family.
+func NewMetrics(reg *obs.Registry, labels ...obs.Label) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Prepares: reg.NewCounter("xrpc_txn_prepares_total",
+			"2PC Prepare verbs sent to participants.", labels...),
+		PrepareFailures: reg.NewCounter("xrpc_txn_prepare_failures_total",
+			"Failed Prepare verbs (each aborts the transaction).", labels...),
+		Commits: reg.NewCounter("xrpc_txn_commits_total",
+			"2PC Commit verbs sent to prepared participants.", labels...),
+		CommitFailures: reg.NewCounter("xrpc_txn_commit_failures_total",
+			"Failed Commit verbs after successful prepare (heuristic outcomes).", labels...),
+		Aborts: reg.NewCounter("xrpc_txn_aborts_total",
+			"2PC Abort verbs sent to participants.", labels...),
+	}
+}
+
 // Coordinator drives two-phase commit across the participants of one
 // query. The embedded client must carry the query's QueryID.
 type Coordinator struct {
 	Client *client.Client
 	// Log receives protocol events (optional, for tests/experiments).
 	Log func(event, peer string)
+	// Metrics, when set, counts the protocol verbs this coordinator
+	// issues (shared across per-query coordinators by the cluster).
+	Metrics *Metrics
 }
 
 func (co *Coordinator) logf(event, peer string) {
@@ -74,9 +108,15 @@ func (co *Coordinator) PrepareAll(peers []string) ([]xdm.Sequence, error) {
 	out := make([]xdm.Sequence, 0, len(peers))
 	for _, p := range peers {
 		co.logf("prepare", p)
+		if co.Metrics != nil {
+			co.Metrics.Prepares.Inc()
+		}
 		res, err := co.verb(p, "Prepare")
 		if err != nil {
 			co.logf("prepare-failed", p)
+			if co.Metrics != nil {
+				co.Metrics.PrepareFailures.Inc()
+			}
 			co.AbortAll(peers)
 			return nil, fmt.Errorf("txn: prepare failed at %s: %w", p, err)
 		}
@@ -96,8 +136,14 @@ func (co *Coordinator) CommitPrepared(peers []string) ([]xdm.Sequence, error) {
 	var firstErr error
 	for i, p := range peers {
 		co.logf("commit", p)
+		if co.Metrics != nil {
+			co.Metrics.Commits.Inc()
+		}
 		res, err := co.verb(p, "Commit")
 		if err != nil {
+			if co.Metrics != nil {
+				co.Metrics.CommitFailures.Inc()
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("txn: commit failed at %s: %w", p, err)
 			}
@@ -125,6 +171,9 @@ func (co *Coordinator) CommitAll(peers []string) error {
 func (co *Coordinator) AbortAll(peers []string) {
 	for _, p := range peers {
 		co.logf("abort", p)
+		if co.Metrics != nil {
+			co.Metrics.Aborts.Inc()
+		}
 		_, _ = co.verb(p, "Abort")
 	}
 }
