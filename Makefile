@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke bench-cluster fuzz-smoke memsmoke cachesmoke obssmoke ci
+.PHONY: build test vet race bench bench-smoke bench-cluster bench-wal fuzz-smoke memsmoke cachesmoke obssmoke crashsmoke ci
 
 build:
 	$(GO) build ./...
@@ -48,11 +48,14 @@ bench-cluster:
 # the incremental io.Reader decoder fed adversarially fragmented input
 # (FuzzDecodeStream). Both targets share one corpus directory; patterns
 # are anchored because `go test -fuzz` requires exactly one match.
+# FuzzWALDecode shakes the write-ahead-log frame parser the same way
+# (truncated, corrupted and torn inputs must never panic).
 # Run `go test -fuzz 'FuzzDecodeStream$$' ./internal/soap` for longer
 # sessions.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz 'FuzzDecode$$' -fuzztime 5s -fuzzminimizetime 5s ./internal/soap
 	$(GO) test -run=NONE -fuzz 'FuzzDecodeStream$$' -fuzztime 5s -fuzzminimizetime 5s ./internal/soap
+	$(GO) test -run=NONE -fuzz 'FuzzWALDecode$$' -fuzztime 5s -fuzzminimizetime 5s ./internal/wal
 
 # memsmoke is the bounded-memory acceptance check of the streamed
 # scatter-gather: under a 64 MiB GOMEMLIMIT the coordinator must merge
@@ -82,4 +85,24 @@ cachesmoke:
 obssmoke:
 	$(GO) test -run 'TestObsSmoke' -v ./internal/cluster/
 
-ci: build vet race bench-smoke fuzz-smoke memsmoke cachesmoke obssmoke
+# bench-wal runs the durable-update acceptance pair: concurrent routed
+# 2PC updates with and without a write-ahead log, the WAL on a tmpfs so
+# the comparison measures the WAL code path (framing, group-commit
+# coordination) rather than this machine's fsync hardware. The bar:
+# WALConc within 15% of Conc. Unset XRPC_BENCH_WAL_DIR to include the
+# real filesystem's flush latency instead.
+bench-wal:
+	XRPC_BENCH_WAL_DIR=$${XRPC_BENCH_WAL_DIR:-/dev/shm} \
+		$(GO) test -run XXX -bench 'BenchmarkClusterRoutedUpdate(WAL)?Conc_P4' -benchtime 1600x .
+
+# crashsmoke is the durability acceptance check: a live xrpcd with a
+# write-ahead log is SIGKILL'd mid-update-storm and restarted with the
+# same -wal-dir; every acknowledged commit must survive and a pre-crash
+# committed read must come back byte-identical. XRPC_CRASHSMOKE_DIR
+# points the WAL at a tmpfs (e.g. /dev/shm) so the fsync-heavy storm
+# stays fast on CI runners.
+crashsmoke:
+	XRPC_CRASHSMOKE_DIR=$${XRPC_CRASHSMOKE_DIR:-/dev/shm} \
+		$(GO) test -run 'TestXrpcdCrashRecovery' -count=1 -v ./internal/cluster/
+
+ci: build vet race bench-smoke fuzz-smoke memsmoke cachesmoke obssmoke crashsmoke

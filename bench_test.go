@@ -11,7 +11,9 @@ package xrpc
 
 import (
 	"io"
+	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -274,6 +276,14 @@ func BenchmarkClusterShardedSemiJoin_P4(b *testing.B) {
 // outside the timer; identity vs the unsharded baseline is pinned by
 // bench.RunClusterUpdateBench and the cluster tests.
 func runClusterUpdate(b *testing.B, peers, replication int) {
+	runClusterUpdateWAL(b, peers, replication, "")
+}
+
+// runClusterUpdateWAL is runClusterUpdate with an optional WAL root:
+// when set, every replica fsyncs a commit record before acking, so the
+// delta against the no-WAL variant is the group-committed durability
+// overhead on the routed write path.
+func runClusterUpdateWAL(b *testing.B, peers, replication int, walRoot string) {
 	b.Helper()
 	reg := modules.NewRegistry()
 	if err := reg.Register(bench.FunctionsP, "http://example.org/p.xq"); err != nil {
@@ -283,9 +293,13 @@ func runClusterUpdate(b *testing.B, peers, replication int) {
 	net := netsim.NewNetwork(0, 0)
 	dep, err := cluster.Deploy(net, reg,
 		map[string]string{"persons.xml": xmark.GeneratePersons(cfg)},
-		cluster.DeployConfig{Shards: peers, Replication: replication, Routes: bench.PersonRoutes()})
+		cluster.DeployConfig{Shards: peers, Replication: replication,
+			Routes: bench.PersonRoutes(), WALRoot: walRoot})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if walRoot != "" {
+		defer dep.Close()
 	}
 	co := dep.Coordinator()
 	upd := &client.BulkRequest{
@@ -309,6 +323,96 @@ func runClusterUpdate(b *testing.B, peers, replication int) {
 
 func BenchmarkClusterRoutedUpdate_P4(b *testing.B)   { runClusterUpdate(b, 4, 1) }
 func BenchmarkClusterRoutedUpdate_P4R2(b *testing.B) { runClusterUpdate(b, 4, 2) }
+
+// BenchmarkClusterRoutedUpdateWAL_P4 is the durable variant of
+// BenchmarkClusterRoutedUpdate_P4: same routed 2PC write, each shard
+// fsyncing its commit record before acking. Sequential updates cannot
+// share flushes, so this measures the worst case — one uncontended
+// fsync round per commit; the Conc pair below measures the group-commit
+// regime the 15%-of-baseline acceptance bar is set against.
+func BenchmarkClusterRoutedUpdateWAL_P4(b *testing.B) {
+	runClusterUpdateWAL(b, 4, 1, b.TempDir())
+}
+
+// runClusterUpdateConc drives independent single-key routed updates
+// from 64×GOMAXPROCS goroutines — the concurrent-writer regime where
+// the WAL's group commit batches every transaction in flight at a
+// shard into one fsync, and the fsync wait (pure I/O) overlaps other
+// transactions' CPU work. Comparing the WALConc and Conc variants
+// isolates the amortized durability overhead per committed update;
+// the high parallelism matters on small runners (at GOMAXPROCS=1,
+// RunParallel alone would drive one update at a time and every commit
+// would pay a solo, unamortized flush).
+func runClusterUpdateConc(b *testing.B, peers, replication int, walRoot string) {
+	b.Helper()
+	reg := modules.NewRegistry()
+	if err := reg.Register(bench.FunctionsP, "http://example.org/p.xq"); err != nil {
+		b.Fatal(err)
+	}
+	cfg := xmark.PaperConfig(0.2)
+	net := netsim.NewNetwork(0, 0)
+	dep, err := cluster.Deploy(net, reg,
+		map[string]string{"persons.xml": xmark.GeneratePersons(cfg)},
+		cluster.DeployConfig{Shards: peers, Replication: replication,
+			Routes: bench.PersonRoutes(), WALRoot: walRoot})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if walRoot != "" {
+		defer dep.Close()
+	}
+	co := dep.Coordinator()
+	update := func(i int) error {
+		_, err := co.Update(&client.BulkRequest{
+			ModuleURI: "functions_p", AtHint: "http://example.org/p.xq",
+			Func: "setCity", Arity: 2, Updating: true,
+			Calls: [][]xdm.Sequence{
+				{{xdm.String(xmark.PersonID(i % cfg.Persons))}, {xdm.String("Benchtown")}}},
+		})
+		return err
+	}
+	if err := update(0); err != nil { // warm the function caches
+		b.Fatal(err)
+	}
+	var ctr atomic.Int64
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := update(int(ctr.Add(1))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkClusterRoutedUpdateConc_P4(b *testing.B) { runClusterUpdateConc(b, 4, 1, "") }
+func BenchmarkClusterRoutedUpdateWALConc_P4(b *testing.B) {
+	runClusterUpdateConc(b, 4, 1, benchWALDir(b))
+}
+
+// benchWALDir places the benchmark WAL under XRPC_BENCH_WAL_DIR when
+// set (a tmpfs like /dev/shm in CI — measuring the WAL code path:
+// framing, group-commit coordination, the extra wire round) and under
+// b.TempDir() otherwise (adding this filesystem's real fsync latency,
+// whatever a flush costs here). The durability acceptance bar — WALConc
+// within 15% of Conc — is defined on the tmpfs configuration, because
+// the repo-filesystem number measures the host's flush hardware more
+// than it measures this code; both numbers are worth watching.
+func benchWALDir(b *testing.B) string {
+	b.Helper()
+	root := os.Getenv("XRPC_BENCH_WAL_DIR")
+	if root == "" {
+		return b.TempDir()
+	}
+	dir, err := os.MkdirTemp(root, "xrpc-bench-wal-")
+	if err != nil {
+		return b.TempDir() // the tmpfs path may not exist on this platform
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	return dir
+}
 
 // BenchmarkClusterPrunedProbe_P4 benches the predicate-pruned read
 // path: one single-key probe that range metadata routes to exactly one

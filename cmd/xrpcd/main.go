@@ -32,6 +32,14 @@
 // -resultcache N gives a proxy an N MiB merged-result cache (warm
 // requests revalidate with one shardInfo probe round per shard).
 //
+// Durability: -wal-dir makes the peer's shard durable — every commit is
+// appended to an fsync'd write-ahead log before it is acknowledged, the
+// store is periodically snapshotted so the log stays short, and a
+// restart with the same directory replays the log over the latest
+// snapshot to recover the exact pre-crash store (torn tails from a
+// mid-write crash are detected by CRC and discarded). While a recovering
+// peer replays, /readyz answers 503.
+//
 // Observability: -debug-addr starts a second HTTP listener with
 // /metrics (Prometheus text), /healthz, /readyz, /debug/pprof/* and
 // /debug/vars; -slow-query sets the threshold past which requests (and,
@@ -49,6 +57,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"xrpc/internal/client"
@@ -56,6 +65,7 @@ import (
 	"xrpc/internal/core"
 	"xrpc/internal/obs"
 	"xrpc/internal/server"
+	"xrpc/internal/wal"
 )
 
 var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -101,6 +111,10 @@ func main() {
 		"peer mode: version-fenced response cache size in MiB (0 = off); read-only bulk calls outside an isolation scope are answered from cached result bytes until a commit steps the store version")
 	resultCacheMiB := flag.Int("resultcache", 0,
 		"proxy mode: coordinator merged-result cache size in MiB (0 = off); warm requests revalidate with one shardInfo probe round per shard instead of re-executing")
+	walDir := flag.String("wal-dir", "",
+		"peer mode: durable-shard directory (commit write-ahead log + snapshots); commits are fsync'd before they are acked, and a restart with the same directory recovers the exact pre-crash store — when the directory already holds state, -docs is ignored in favor of recovery")
+	walSnapshotMiB := flag.Int("wal-snapshot", 0,
+		"snapshot the store and truncate the WAL after this many MiB of log growth (0 = 8 MiB default)")
 	debugAddr := flag.String("debug-addr", "",
 		"observability listen address serving /metrics, /healthz, /readyz, /debug/pprof/* and /debug/vars (empty = off)")
 	slowQuery := flag.Duration("slow-query", 0,
@@ -108,8 +122,8 @@ func main() {
 	flag.Parse()
 
 	if *proxyPeers != "" {
-		if *docsDir != "" || *modsDir != "" || *of != 0 || *shard != 0 {
-			fatalf("-proxy is exclusive with -docs/-modules/-shard/-of: the proxy serves the shard peers' documents, not its own")
+		if *docsDir != "" || *modsDir != "" || *of != 0 || *shard != 0 || *walDir != "" {
+			fatalf("-proxy is exclusive with -docs/-modules/-shard/-of/-wal-dir: the proxy serves the shard peers' documents, not its own")
 		}
 		if *respCacheMiB != 0 {
 			fatalf("-respcache is a peer-mode flag; the proxy caches merged results with -resultcache")
@@ -150,7 +164,11 @@ func main() {
 	}
 	peer.EnableObs(reg, obs.NewSlowLog(logger, *slowQuery))
 
-	if *docsDir != "" {
+	// a WAL directory that already holds a snapshot is the authoritative
+	// state: the documents (and store version) come from recovery, not
+	// from re-loading -docs, which would silently shadow committed updates
+	hasState := *walDir != "" && wal.HasSnapshot(*walDir)
+	if *docsDir != "" && !hasState {
 		n, err := loadDocs(peer, *docsDir, *shard, *of)
 		if err != nil {
 			fatalf("loading documents: %v", err)
@@ -160,6 +178,8 @@ func main() {
 		} else {
 			logger.Info("documents loaded", "count", n, "dir", *docsDir)
 		}
+	} else if hasState && *docsDir != "" {
+		logger.Info("ignoring -docs: recovering durable state", "wal", *walDir)
 	}
 	if *modsDir != "" {
 		n, err := loadModules(peer, *modsDir)
@@ -169,8 +189,37 @@ func main() {
 		logger.Info("modules registered", "count", n, "dir", *modsDir)
 	}
 
+	// the debug listener comes up before recovery so /readyz answers 503
+	// while the WAL replays instead of refusing connections
+	var recovering atomic.Bool
+	ready := peer.Ready
+	if *walDir != "" {
+		recovering.Store(true)
+		ready = func() error {
+			if recovering.Load() {
+				return fmt.Errorf("WAL replay in progress")
+			}
+			return peer.Ready()
+		}
+	}
 	if *debugAddr != "" {
-		serveDebug(*debugAddr, reg, peer.Ready)
+		serveDebug(*debugAddr, reg, ready)
+	}
+	if *walDir != "" {
+		recovered, err := peer.Server.EnableWAL(server.WALConfig{
+			Dir:           *walDir,
+			SnapshotBytes: int64(*walSnapshotMiB) << 20,
+			Metrics:       wal.NewMetrics(reg),
+		})
+		if err != nil {
+			fatalf("wal %s: %v", *walDir, err)
+		}
+		if recovered {
+			logger.Info("recovered durable state", "wal", *walDir, "version", peer.Store.Version())
+		} else {
+			logger.Info("durability enabled", "wal", *walDir, "version", peer.Store.Version())
+		}
+		recovering.Store(false)
 	}
 
 	mux := http.NewServeMux()

@@ -35,6 +35,10 @@ type Client struct {
 	// QueryID, when set, is attached to every request (repeatable-read
 	// isolation). Nil means isolation level "none".
 	QueryID *soap.QueryID
+	// Retry, when set, re-sends buffered requests in place on transient
+	// transport failures (see RetryPolicy). Nil means a single attempt —
+	// failover, if any, is the caller's concern.
+	Retry *RetryPolicy
 
 	mu    sync.Mutex
 	peers map[string]bool
@@ -49,6 +53,8 @@ type Client struct {
 	// scatter-many, strictly fewer than Requests when one body is reused
 	// across shards and replica failover attempts.
 	Encodes atomic.Int64
+	// Retries counts in-place re-sends under the Retry policy.
+	Retries atomic.Int64
 	// WindowStalls counts producer stalls of streamed responses: the
 	// per-shard prefetch window filled up and the socket reader had to
 	// wait for the consumer. Nil (the default) disables counting.
@@ -78,6 +84,9 @@ func (c *Client) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.CounterFunc("xrpc_client_encodes_total",
 		"Request bodies encoded (fewer than requests under encode-once scatter-many).",
 		c.Encodes.Load, labels...)
+	reg.CounterFunc("xrpc_client_retries_total",
+		"In-place re-sends of transiently failed requests.",
+		c.Retries.Load, labels...)
 	c.WindowStalls = reg.NewCounter("xrpc_client_window_stalls_total",
 		"Streamed-response producer stalls: the prefetch window was full.", labels...)
 }
@@ -177,12 +186,11 @@ func (c *Client) EncodeBulk(br *BulkRequest) *soap.Encoder {
 
 // SendEncoded posts a pre-encoded request body to dest and decodes the
 // response, expecting one result sequence per call. Safe to call
-// concurrently with the same body: the bytes are only read.
+// concurrently with the same body: the bytes are only read. With a
+// Retry policy set, transient transport failures are re-sent in place
+// with capped exponential backoff before the error surfaces.
 func (c *Client) SendEncoded(dest string, body []byte, calls int) ([]xdm.Sequence, error) {
-	respBody, err := c.Transport.Send(dest, XRPCPath, body)
-	c.Requests.Add(1)
-	c.Sent.Add(int64(len(body)))
-	c.Received.Add(int64(len(respBody)))
+	respBody, err := c.sendRetried(dest, body)
 	if err != nil {
 		return nil, fmt.Errorf("xrpc: send to %s: %w", dest, err)
 	}
@@ -195,6 +203,27 @@ func (c *Client) SendEncoded(dest string, body []byte, calls int) ([]xdm.Sequenc
 	}
 	c.notePeers(dest, resp.Peers)
 	return resp.Results, nil
+}
+
+// sendRetried is one buffered transport exchange under the retry
+// policy. Streamed sends (SendStreamed) do not retry here: a stream
+// that failed mid-body is not safely re-sendable without consumer
+// cooperation, and the scatter path has replica failover instead.
+func (c *Client) sendRetried(dest string, body []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		respBody, err := c.Transport.Send(dest, XRPCPath, body)
+		c.Requests.Add(1)
+		c.Sent.Add(int64(len(body)))
+		c.Received.Add(int64(len(respBody)))
+		if err == nil {
+			return respBody, nil
+		}
+		if c.Retry == nil || attempt >= c.Retry.Max || !Retriable(err) {
+			return nil, err
+		}
+		c.Retries.Add(1)
+		c.Retry.backoff(attempt)
+	}
 }
 
 // CallOneAtATime performs the same set of calls as CallBulk but with one

@@ -1,0 +1,68 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy retries transient failures of buffered sends in place —
+// same destination, same bytes — before the caller's own failover
+// machinery (a cluster coordinator walking the replica list) gets the
+// error. In-place retry and replica failover are complementary: a
+// transient burst at a healthy peer (restart, load spike) is absorbed
+// here, while a peer that stays down still fails fast enough for the
+// coordinator to route around it. Only errors that Retriable classifies
+// as transient are retried; SOAP faults and definitive 4xx statuses
+// surface immediately.
+//
+// Backoff is capped exponential with full jitter: retry k sleeps a
+// uniformly random duration in (0, min(Cap, Base<<k)], decorrelating
+// clients that failed on the same event.
+type RetryPolicy struct {
+	// Max is how many re-sends follow the first attempt (0 = no
+	// retries).
+	Max int
+	// Base scales the backoff: retry k's sleep is drawn from
+	// (0, min(Cap, Base<<k)]. Zero defaults to 2ms.
+	Base time.Duration
+	// Cap bounds a single backoff sleep. Zero defaults to 250ms.
+	Cap time.Duration
+	// Sleep is replaceable in tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// DefaultRetryPolicy absorbs short unavailability bursts (a few ms to
+// ~1s total across 4 retries) without masking a persistent outage.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{Max: 4, Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond}
+}
+
+// backoff sleeps for retry number k (0-based).
+func (p *RetryPolicy) backoff(k int) {
+	base, cap := p.Base, p.Cap
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	d := base << uint(k)
+	if d <= 0 || d > cap { // d <= 0 catches shift overflow
+		d = cap
+	}
+	p.mu.Lock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d = time.Duration(p.rng.Int63n(int64(d))) + 1
+	p.mu.Unlock()
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
+}

@@ -106,6 +106,10 @@ type Coordinator struct {
 
 	mu     sync.RWMutex
 	routes []RouteSpec
+
+	// demoted remembers evicted replicas so Rejoin can bring them back
+	// (see rejoin.go).
+	demoted demotions
 }
 
 // NewCoordinator builds a coordinator over a routing table and client.
@@ -432,6 +436,10 @@ func (co *Coordinator) Update(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	}
 	txCl := client.New(co.Client.Transport)
 	txCl.QueryID = txn.NewQueryID(co.clusterURI(), timeout)
+	// the 2PC verbs inherit the coordinator client's retry policy: a
+	// transient burst at a replica during AdoptPUL/Commit is retried in
+	// place instead of demoting a healthy peer
+	txCl.Retry = co.Client.Retry
 	tc := &txn.Coordinator{Client: txCl}
 	if m := co.Metrics; m != nil {
 		m.Updates.Inc()
@@ -557,8 +565,14 @@ func (co *Coordinator) abortPeer(txCl *client.Client, uri string) {
 	})
 }
 
+// evict demotes a replica: removed from the routing table (so it stops
+// serving stale reads) but remembered for Rejoin (see rejoin.go) —
+// eviction is a demotion awaiting resync, not an execution.
 func (co *Coordinator) evict(shard int, uri string, reason error) {
 	if co.Table.Evict(shard, uri) {
+		co.demoted.add(DemotedReplica{
+			Shard: shard, URI: uri, Reason: reason.Error(), When: time.Now(),
+		})
 		if m := co.Metrics; m != nil {
 			m.Evictions.Inc()
 		}

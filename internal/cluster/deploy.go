@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"xrpc/internal/client"
 	"xrpc/internal/interp"
 	"xrpc/internal/modules"
 	"xrpc/internal/netsim"
 	"xrpc/internal/server"
+	"xrpc/internal/soap"
 	"xrpc/internal/store"
 )
 
@@ -43,6 +45,14 @@ type DeployConfig struct {
 	// never-materialize bound of the streaming gather holds only with
 	// the cache off.
 	ResultCacheBytes int64
+	// WALRoot, when non-empty, makes every replica durable: shard s
+	// replica j logs to <WALRoot>/s<s>r<j> (commit WAL + snapshots) and
+	// recovers from it when the directory already holds state.
+	WALRoot string
+	// WALSegmentBytes/WALSnapshotBytes override the per-replica log
+	// rotation and snapshot thresholds (0 = defaults).
+	WALSegmentBytes  int64
+	WALSnapshotBytes int64
 }
 
 // Deployment is a set of shard peers registered on one netsim.Network,
@@ -127,6 +137,22 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 			srv.Self = uri
 			srv.Shard, srv.Shards = s, cfg.Shards
 			srv.ShardRanges = descriptors
+			// every replica gets a nested-call client factory: a demoted
+			// replica resyncs by calling its primary's syncFrom verb
+			srv.NewRPC = func(qid *soap.QueryID) (interp.RPCCaller, func() []string) {
+				cl := client.New(net)
+				cl.QueryID = qid
+				return cl, cl.Peers
+			}
+			if cfg.WALRoot != "" {
+				if _, err := srv.EnableWAL(server.WALConfig{
+					Dir:           filepath.Join(cfg.WALRoot, fmt.Sprintf("s%dr%d", s, j)),
+					SegmentBytes:  cfg.WALSegmentBytes,
+					SnapshotBytes: cfg.WALSnapshotBytes,
+				}); err != nil {
+					return nil, fmt.Errorf("cluster: shard %d replica %d: %w", s, j, err)
+				}
+			}
 			if cfg.RespCacheBytes > 0 {
 				srv.RespCache = server.NewRespCache(cfg.RespCacheBytes, cfg.RespCacheEntries)
 			}
@@ -158,6 +184,20 @@ func (d *Deployment) Coordinator() *Coordinator {
 		co.ResultCache = NewResultCache(d.resultCacheBytes)
 	}
 	return co
+}
+
+// Close flushes and closes every replica's WAL (no-op for replicas
+// without one).
+func (d *Deployment) Close() error {
+	var first error
+	for _, reps := range d.Servers {
+		for _, srv := range reps {
+			if err := srv.CloseWAL(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // ShardURIs returns the primary URI of every shard, in shard order.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"log/slog"
 	"net/http"
@@ -14,20 +15,33 @@ import (
 	"xrpc/internal/netsim"
 	"xrpc/internal/obs"
 	"xrpc/internal/server"
+	"xrpc/internal/wal"
 	"xrpc/internal/xmark"
 )
 
-// TestObsSmoke is the `make obssmoke` gate: a 2-shard cached cluster
-// with the full observability layer attached — one shared registry over
-// shard servers, coordinator, result cache, client and netsim — driven
-// cold → warm → routed update → post-write, then scraped through the
-// debug endpoints. Asserts the counters that must move at each stage,
-// and that one trace ID minted at the coordinator's front door appears
-// in BOTH shards' slow-query logs.
+// TestObsSmoke is the `make obssmoke` gate: a 2-shard cached, durable
+// cluster with the full observability layer attached — one shared
+// registry over shard servers, coordinator, result cache, client,
+// netsim and the per-replica write-ahead logs — driven cold → warm →
+// routed update → post-write → demote/resync/rejoin, then scraped
+// through the debug endpoints. Asserts the counters that must move at
+// each stage, and that one trace ID minted at the coordinator's front
+// door appears in BOTH shards' slow-query logs.
 func TestObsSmoke(t *testing.T) {
 	net := netsim.NewNetwork(0, 0)
 	const persons = 40
-	dep := deployPersonsCached(t, net, persons, 2, 1)
+	xml := xmark.GeneratePersons(xmark.Config{Persons: persons, Seed: 11})
+	dep, err := Deploy(net, personsRegistry(t), map[string]string{"persons.xml": xml},
+		DeployConfig{
+			Shards: 2, Replication: 2, Routes: personRoutes(),
+			RespCacheBytes:   8 << 20,
+			ResultCacheBytes: 8 << 20,
+			WALRoot:          t.TempDir(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dep.Close() })
 	co := dep.Coordinator()
 
 	reg := obs.NewRegistry()
@@ -36,6 +50,15 @@ func TestObsSmoke(t *testing.T) {
 	co.ResultCache.RegisterMetrics(reg)
 	co.Client.RegisterMetrics(reg)
 	net.RegisterMetrics(reg)
+
+	// one shared WAL metric family across every replica's log: fsync
+	// latency, appends by kind, and the resync/replay counters
+	walM := wal.NewMetrics(reg)
+	for s := range dep.Servers {
+		for _, srv := range dep.Servers[s] {
+			srv.SetWALMetrics(walM)
+		}
+	}
 
 	// per-shard servers: request metrics + cache tiers on the shared
 	// registry (shard="N" labels), slow log into a capturable buffer
@@ -90,6 +113,17 @@ func TestObsSmoke(t *testing.T) {
 	if n := reg.MustGather("xrpc_txn_commits_total"); n != 1 {
 		t.Fatalf("2PC commits = %v, want 1", n)
 	}
+	// the commit hit every touched replica's WAL: an fsync'd commit
+	// record on the primary and the adopted copy on its replica
+	if n := reg.MustGather("xrpc_wal_appends_total", obs.Label{Key: "kind", Value: "commit"}); n < 2 {
+		t.Fatalf("WAL commit appends = %v, want >= 2 (primary + replica)", n)
+	}
+	if n := reg.MustGather("xrpc_wal_fsync_batches_total"); n < 1 {
+		t.Fatalf("WAL fsync batches = %v, want >= 1", n)
+	}
+	if n := reg.MustGather("xrpc_wal_fsync_seconds"); n < 1 {
+		t.Fatalf("WAL fsync latency observations = %v, want >= 1", n)
+	}
 
 	// --- post-write read: the version fence moved, so the entry
 	// refreshes (partial hit) instead of serving stale
@@ -99,6 +133,28 @@ func TestObsSmoke(t *testing.T) {
 	if n := reg.MustGather("xrpc_resultcache_partial_hits_total") +
 		reg.MustGather("xrpc_resultcache_misses_total"); n < 2 {
 		t.Fatalf("post-write read did not re-query: partial+misses = %v", n)
+	}
+
+	// --- demote → resync → rejoin: the durability counters move
+	shard := ownerShard(t, dep, xmark.PersonID(2))
+	replica := dep.Table.Replicas(shard)[1]
+	co.evict(shard, replica, errors.New("injected demotion"))
+	write2 := setCityRequest("Resyncville", xmark.PersonID(2))
+	write2.TraceID = trace
+	if _, err := co.Update(write2); err != nil { // missed by the demoted replica
+		t.Fatal(err)
+	}
+	if err := co.Rejoin(shard, replica); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.MustGather("xrpc_wal_resyncs_total"); n < 1 {
+		t.Fatalf("WAL resyncs = %v, want >= 1", n)
+	}
+	if n := reg.MustGather("xrpc_wal_replayed_records_total"); n < 1 {
+		t.Fatalf("WAL replayed records = %v, want >= 1 (the missed commit shipped back)", n)
+	}
+	if n := reg.MustGather("xrpc_cluster_rejoins_total"); n != 1 {
+		t.Fatalf("cluster rejoins = %v, want 1", n)
 	}
 
 	// --- per-shard request metrics and latency histograms moved
@@ -157,8 +213,12 @@ func TestObsSmoke(t *testing.T) {
 		`xrpc_server_requests_total{shard="0",method="getPerson"}`,
 		`xrpc_server_requests_total{shard="1",method="getPerson"}`,
 		"xrpc_resultcache_hits_total 1",
-		"xrpc_txn_commits_total 1",
+		"xrpc_txn_commits_total 2",
 		`xrpc_cluster_shard_open_seconds_bucket{shard="0",le="+Inf"}`,
+		`xrpc_wal_appends_total{kind="commit"}`,
+		"# TYPE xrpc_wal_fsync_seconds histogram",
+		"xrpc_wal_resyncs_total",
+		"xrpc_cluster_rejoins_total 1",
 	} {
 		if !strings.Contains(scrape, want) {
 			t.Errorf("/metrics scrape missing %q", want)

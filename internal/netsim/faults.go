@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Fault injection: per-peer failure modes checked before a message is
+// dispatched to its handler. The simulated failures model the transport
+// layer (a peer that is down, overloaded, or partitioned away), so the
+// injected error is retriable in the client.Retriable sense — another
+// replica, or the same peer a moment later, may well succeed. All
+// randomness is drawn from one seeded source so failing runs replay.
+
+// InjectedFault is the error returned for a send suppressed by fault
+// injection. It is a transport-level failure (the peer never saw the
+// request), equivalent to a 503 from an intermediary.
+type InjectedFault struct {
+	Dest string
+	// Mode is the fault that fired: "drop", "fail_next", or "partition".
+	Mode string
+}
+
+// Error implements error.
+func (f *InjectedFault) Error() string {
+	return fmt.Sprintf("netsim: injected fault (%s): %s unavailable", f.Mode, f.Dest)
+}
+
+// peerFaults is one destination's failure configuration.
+type peerFaults struct {
+	dropRate    float64
+	failNext    int
+	partitioned bool
+}
+
+// faultState hangs off a Network lazily: networks without injected
+// faults pay one nil check per send.
+type faultState struct {
+	mu    sync.Mutex
+	peers map[string]*peerFaults
+	rng   *rand.Rand
+}
+
+// SeedFaults seeds the fault RNG so probabilistic drops replay
+// deterministically. Implies fault injection is armed; call before
+// SetDropRate for reproducible runs (the default seed is 1).
+func (n *Network) SeedFaults(seed int64) {
+	fs := n.faultsArm()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetDropRate makes a fraction p (0..1) of sends to dest fail with an
+// InjectedFault. p = 0 clears the drop rate.
+func (n *Network) SetDropRate(dest string, p float64) {
+	fs := n.faultsArm()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.peer(dest).dropRate = p
+}
+
+// FailNext makes the next k sends to dest fail with an InjectedFault —
+// the deterministic way to script a transient burst (a peer restarting,
+// a load spike) without probability.
+func (n *Network) FailNext(dest string, k int) {
+	fs := n.faultsArm()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.peer(dest).failNext = k
+}
+
+// SetPartitioned isolates dest: every send fails until the partition
+// heals with SetPartitioned(dest, false).
+func (n *Network) SetPartitioned(dest string, on bool) {
+	fs := n.faultsArm()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.peer(dest).partitioned = on
+}
+
+// ClearFaults removes every fault configured for dest.
+func (n *Network) ClearFaults(dest string) {
+	n.mu.RLock()
+	fs := n.faults
+	n.mu.RUnlock()
+	if fs == nil {
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.peers, dest)
+}
+
+// faultsArm returns the network's fault state, creating it on first use.
+func (n *Network) faultsArm() *faultState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faults == nil {
+		n.faults = &faultState{
+			peers: map[string]*peerFaults{},
+			rng:   rand.New(rand.NewSource(1)),
+		}
+	}
+	return n.faults
+}
+
+// peer returns dest's fault config; callers hold fs.mu.
+func (fs *faultState) peer(dest string) *peerFaults {
+	pf, ok := fs.peers[dest]
+	if !ok {
+		pf = &peerFaults{}
+		fs.peers[dest] = pf
+	}
+	return pf
+}
+
+// injectFault decides whether this send to dest fails, consuming one
+// FailNext token if armed. Nil when no fault fires (the common case:
+// one unsynchronized nil check).
+func (n *Network) injectFault(dest string) error {
+	n.mu.RLock()
+	fs := n.faults
+	n.mu.RUnlock()
+	if fs == nil {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	pf, ok := fs.peers[dest]
+	if !ok {
+		return nil
+	}
+	switch {
+	case pf.partitioned:
+		return &InjectedFault{Dest: dest, Mode: "partition"}
+	case pf.failNext > 0:
+		pf.failNext--
+		return &InjectedFault{Dest: dest, Mode: "fail_next"}
+	case pf.dropRate > 0 && fs.rng.Float64() < pf.dropRate:
+		return &InjectedFault{Dest: dest, Mode: "drop"}
+	}
+	return nil
+}

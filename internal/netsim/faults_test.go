@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func okPeer(t *testing.T, net *Network, uri string) {
+	t.Helper()
+	net.Register(uri, HandlerFunc(func(_ string, _ []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	}))
+}
+
+func TestFailNextConsumesTokensThenRecovers(t *testing.T) {
+	net := NewNetwork(0, 0)
+	okPeer(t, net, "xrpc://a")
+	net.FailNext("xrpc://a", 2)
+	for i := 0; i < 2; i++ {
+		_, err := net.Send("xrpc://a", "/", nil)
+		var inj *InjectedFault
+		if !errors.As(err, &inj) || inj.Mode != "fail_next" {
+			t.Fatalf("send %d: err = %v, want InjectedFault(fail_next)", i, err)
+		}
+	}
+	if _, err := net.Send("xrpc://a", "/", nil); err != nil {
+		t.Fatalf("send after burst: %v", err)
+	}
+}
+
+func TestPartitionBlocksUntilHealed(t *testing.T) {
+	net := NewNetwork(0, 0)
+	okPeer(t, net, "xrpc://a")
+	okPeer(t, net, "xrpc://b")
+	net.SetPartitioned("xrpc://a", true)
+	for i := 0; i < 3; i++ {
+		if _, err := net.Send("xrpc://a", "/", nil); err == nil {
+			t.Fatal("partitioned peer answered")
+		}
+	}
+	// partitions are per-peer, and streams fail at open too
+	if _, err := net.Send("xrpc://b", "/", nil); err != nil {
+		t.Fatalf("unpartitioned peer: %v", err)
+	}
+	net.SetPartitioned("xrpc://a", false)
+	if _, err := net.Send("xrpc://a", "/", nil); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestSendStreamInjectsFaults(t *testing.T) {
+	net := NewNetwork(0, 0)
+	okPeer(t, net, "xrpc://a")
+	net.FailNext("xrpc://a", 1)
+	if _, err := net.SendStream("xrpc://a", "/", nil); err == nil {
+		t.Fatal("stream opened through an injected fault")
+	}
+	rc, err := net.SendStream("xrpc://a", "/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if b, _ := io.ReadAll(rc); string(b) != "ok" {
+		t.Fatalf("stream body = %q", b)
+	}
+}
+
+func TestDropRateIsSeededAndClearable(t *testing.T) {
+	run := func() (fails int) {
+		net := NewNetwork(0, 0)
+		okPeer(t, net, "xrpc://a")
+		net.SeedFaults(42)
+		net.SetDropRate("xrpc://a", 0.5)
+		for i := 0; i < 100; i++ {
+			if _, err := net.Send("xrpc://a", "/", nil); err != nil {
+				fails++
+			}
+		}
+		return fails
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different drop counts: %d vs %d", a, b)
+	}
+	if a < 30 || a > 70 {
+		t.Fatalf("drop count %d implausible for p=0.5 over 100 sends", a)
+	}
+
+	net := NewNetwork(0, 0)
+	okPeer(t, net, "xrpc://a")
+	net.SetDropRate("xrpc://a", 1)
+	if _, err := net.Send("xrpc://a", "/", nil); err == nil {
+		t.Fatal("p=1 drop rate let a send through")
+	}
+	net.ClearFaults("xrpc://a")
+	if _, err := net.Send("xrpc://a", "/", nil); err != nil {
+		t.Fatalf("after ClearFaults: %v", err)
+	}
+}

@@ -66,6 +66,8 @@ type Network struct {
 	mu      sync.RWMutex
 	peers   map[string]Handler
 	perPeer map[string]*Stats
+	// faults, when armed, injects per-peer failures (see faults.go).
+	faults *faultState
 
 	// RTT is the per-request round-trip latency (paper LAN: ~0.1-1ms;
 	// WAN: tens of ms). Applied once per Send.
@@ -116,6 +118,9 @@ func (n *Network) Send(dest, path string, body []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("netsim: no peer registered at %q", dest)
 	}
+	if err := n.injectFault(dest); err != nil {
+		return nil, err
+	}
 	resp, err := h.HandleXRPC(path, body)
 	if err != nil {
 		return nil, err
@@ -152,6 +157,9 @@ func (n *Network) SendStream(dest, path string, body []byte) (io.ReadCloser, err
 	n.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: no peer registered at %q", dest)
+	}
+	if err := n.injectFault(dest); err != nil {
+		return nil, err
 	}
 	var rc io.ReadCloser
 	if sh, ok := h.(StreamHandler); ok {

@@ -21,6 +21,7 @@ import (
 	"xrpc/internal/obs"
 	"xrpc/internal/soap"
 	"xrpc/internal/store"
+	"xrpc/internal/wal"
 	"xrpc/internal/xdm"
 )
 
@@ -103,6 +104,13 @@ type Server struct {
 	SlowLog *obs.SlowLog
 
 	iso isoManager
+
+	// durability (durability.go): nil until EnableWAL. Commits flow
+	// through applyDurable; snapMu serializes the snapshot policy.
+	wal        *wal.Log
+	walMetrics *wal.Metrics
+	snapBytes  int64
+	snapMu     sync.Mutex
 
 	mu sync.Mutex
 	// ServedRequests counts handled XRPC requests (experiments).
@@ -348,8 +356,9 @@ func (s *Server) handle(body []byte, meta *reqMeta) (*soap.Response, error) {
 			// deferred: accumulate ∆ per query, applied at Commit (R'_Fu)
 			entry.addPUL(pul)
 		} else {
-			// immediate application (R_Fu)
-			if err := interp.ApplyUpdates(s.Store, pul); err != nil {
+			// immediate application (R_Fu), durable before the response
+			// leaves when a WAL is enabled
+			if _, err := s.applyDurable("", pul); err != nil {
 				return nil, err
 			}
 		}
@@ -432,6 +441,37 @@ func (s *Server) handleSystem(req *soap.Request) (*soap.Response, error) {
 		return &soap.Response{
 			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
 		}, nil
+	case "syncFrom":
+		// primary side of replica resync: ship commits after the
+		// follower's version, or a full snapshot (see durability.go)
+		if len(req.Calls) != 1 || len(req.Calls[0]) != 1 || len(req.Calls[0][0]) != 1 {
+			return nil, xdm.NewError("XRPC0004", "syncFrom takes one integer (the follower's version)")
+		}
+		since, ok := itemInt(req.Calls[0][0][0])
+		if !ok {
+			return nil, xdm.Errorf("XRPC0004", "syncFrom: bad version %q", req.Calls[0][0][0].StringValue())
+		}
+		seq, err := s.serveSyncFrom(since)
+		if err != nil {
+			return nil, err
+		}
+		return &soap.Response{
+			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
+		}, nil
+	case "resyncFrom":
+		// follower side: catch up from the named primary, then report the
+		// caught-up version for the coordinator's rejoin probe
+		if len(req.Calls) != 1 || len(req.Calls[0]) != 1 || len(req.Calls[0][0]) != 1 {
+			return nil, xdm.NewError("XRPC0004", "resyncFrom takes one string (the primary URI)")
+		}
+		v, err := s.ResyncFrom(req.Calls[0][0][0].StringValue())
+		if err != nil {
+			return nil, err
+		}
+		seq := xdm.Sequence{xdm.String("resynced"), xdm.Integer(v)}
+		return &soap.Response{
+			Module: req.Module, Method: req.Method, Results: []xdm.Sequence{seq},
+		}, nil
 	default:
 		return nil, xdm.Errorf("XRPC0004", "unknown system method %q", req.Method)
 	}
@@ -459,6 +499,11 @@ func (s *Server) handleWSAT(req *soap.Request) (*soap.Response, error) {
 	case "Prepare":
 		var pul *xdm.Node
 		pul, err = s.iso.prepare(req.QueryID.ID)
+		if err == nil {
+			// the prepared PUL hits disk before the ack leaves: the
+			// participant's 2PC promise survives a crash
+			err = s.logPrepare(req.QueryID.ID, pul)
+		}
 		result = xdm.Singleton(xdm.String("prepared"))
 		if pul != nil {
 			result = append(result, pul)
@@ -475,10 +520,15 @@ func (s *Server) handleWSAT(req *soap.Request) (*soap.Response, error) {
 		result = xdm.Singleton(xdm.String("adopted"))
 	case "Commit":
 		var version int64
-		version, err = s.iso.commit(req.QueryID.ID, s.Store)
+		var entry *isoEntry
+		entry, err = s.iso.take(req.QueryID.ID)
+		if err == nil {
+			version, err = s.applyDurable(req.QueryID.ID, entry.pul)
+		}
 		result = xdm.Sequence{xdm.String("committed"), xdm.Integer(version)}
 	case "Abort":
 		s.iso.abort(req.QueryID.ID)
+		s.logAbort(req.QueryID.ID)
 		result = xdm.Singleton(xdm.String("aborted"))
 	default:
 		return nil, xdm.Errorf("XRPC0005", "unknown WS-AT method %q", req.Method)
@@ -638,27 +688,22 @@ func (m *isoManager) adopt(qid *soap.QueryID, pulNode *xdm.Node, st *store.Store
 	return nil
 }
 
-// commit applies the accumulated pending update lists, creating new
-// database state (rule at the end of §2.3), and returns the store
-// version this commit produced. Commits are serialized (commitMu) so
-// the returned version is the one observed immediately after this
-// commit's own apply — concurrent transactions cannot slide a commit in
-// between the apply and the version read, which would make the
-// coordinator's replica version fence evict healthy replicas.
-func (m *isoManager) commit(id string, st *store.Store) (int64, error) {
+// take removes and returns the entry for a committing queryID; the
+// server applies its accumulated pending update lists through the
+// durable commit path (applyDurable), whose commitMu serialization
+// guarantees the version it reports is the one this commit produced —
+// concurrent transactions cannot slide a commit in between the apply
+// and the version read, which would make the coordinator's replica
+// version fence evict healthy replicas.
+func (m *isoManager) take(id string) (*isoEntry, error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	e, ok := m.entries[id]
-	delete(m.entries, id)
-	m.mu.Unlock()
 	if !ok {
-		return 0, xdm.Errorf("XRPC0006", "Commit: unknown queryID %s", id)
+		return nil, xdm.Errorf("XRPC0006", "Commit: unknown queryID %s", id)
 	}
-	m.commitMu.Lock()
-	defer m.commitMu.Unlock()
-	if err := interp.ApplyUpdates(st, e.pul); err != nil {
-		return 0, err
-	}
-	return st.Version(), nil
+	delete(m.entries, id)
+	return e, nil
 }
 
 func (m *isoManager) abort(id string) {

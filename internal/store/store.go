@@ -69,6 +69,22 @@ func (s *Store) PutBatch(docs map[string]*xdm.Node) {
 	s.version++
 }
 
+// Restore replaces the entire store contents and sets the version
+// exactly — no bump. It is the recovery entry point: a peer restoring a
+// durable snapshot (or adopting one during resync) must come back at
+// the version the snapshot was taken at, so the version keeps working
+// as a replication fence across restarts. The caller must not mutate
+// the documents afterwards.
+func (s *Store) Restore(docs map[string]*xdm.Node, version int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs = make(map[string]*xdm.Node, len(docs))
+	for name, doc := range docs {
+		s.docs[name] = doc
+	}
+	s.version = version
+}
+
 // Delete removes a document.
 func (s *Store) Delete(name string) {
 	s.mu.Lock()
@@ -151,3 +167,14 @@ func (sn *Snapshot) Doc(uri string) (*xdm.Node, error) {
 
 // Version returns the store version the snapshot was taken at.
 func (sn *Snapshot) Version() int64 { return sn.version }
+
+// Names returns the sorted names of the snapshot's documents (used by
+// durable-snapshot writers that must serialize one consistent state).
+func (sn *Snapshot) Names() []string {
+	out := make([]string, 0, len(sn.docs))
+	for n := range sn.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

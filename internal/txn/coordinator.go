@@ -13,6 +13,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sync"
 	"time"
 
 	"xrpc/internal/client"
@@ -73,15 +74,21 @@ func NewMetrics(reg *obs.Registry, labels ...obs.Label) *Metrics {
 type Coordinator struct {
 	Client *client.Client
 	// Log receives protocol events (optional, for tests/experiments).
+	// Called serialized, but from multiple goroutines: each phase fans
+	// its verbs out to the participants concurrently.
 	Log func(event, peer string)
 	// Metrics, when set, counts the protocol verbs this coordinator
 	// issues (shared across per-query coordinators by the cluster).
 	Metrics *Metrics
+
+	logMu sync.Mutex
 }
 
 func (co *Coordinator) logf(event, peer string) {
 	if co.Log != nil {
+		co.logMu.Lock()
 		co.Log(event, peer)
+		co.logMu.Unlock()
 	}
 }
 
@@ -98,58 +105,86 @@ func (co *Coordinator) verb(peer, method string) (xdm.Sequence, error) {
 	return res[0], nil
 }
 
-// PrepareAll runs phase 1 of 2PC: Prepare at every peer, in order,
-// returning each peer's prepare result. The XRPC server piggybacks the
+// PrepareAll runs phase 1 of 2PC: Prepare at every peer concurrently
+// (the participants are independent, and durable peers fsync their logs
+// inside the verb — overlapping the flushes keeps a multi-shard commit
+// at one flush latency instead of one per participant), returning each
+// peer's prepare result in peer order. The XRPC server piggybacks the
 // prepared (serialized) pending update list on the ack — result[i][1],
 // when present — which is what replica PUL replication forwards. If any
-// Prepare fails, every peer is aborted and the error returned; no peer
-// commits.
+// Prepare fails, every peer is aborted and the error returned (the
+// lowest failed peer index, deterministically); no peer commits.
 func (co *Coordinator) PrepareAll(peers []string) ([]xdm.Sequence, error) {
-	out := make([]xdm.Sequence, 0, len(peers))
-	for _, p := range peers {
-		co.logf("prepare", p)
-		if co.Metrics != nil {
-			co.Metrics.Prepares.Inc()
-		}
-		res, err := co.verb(p, "Prepare")
-		if err != nil {
-			co.logf("prepare-failed", p)
+	out := make([]xdm.Sequence, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			co.logf("prepare", p)
 			if co.Metrics != nil {
-				co.Metrics.PrepareFailures.Inc()
+				co.Metrics.Prepares.Inc()
 			}
+			res, err := co.verb(p, "Prepare")
+			if err != nil {
+				co.logf("prepare-failed", p)
+				if co.Metrics != nil {
+					co.Metrics.PrepareFailures.Inc()
+				}
+				errs[i] = err
+				return
+			}
+			out[i] = res
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
 			co.AbortAll(peers)
-			return nil, fmt.Errorf("txn: prepare failed at %s: %w", p, err)
+			return nil, fmt.Errorf("txn: prepare failed at %s: %w", peers[i], err)
 		}
-		out = append(out, res)
 	}
 	return out, nil
 }
 
-// CommitPrepared runs phase 2 over already-prepared peers, returning
-// each peer's commit result (the XRPC server reports its post-commit
-// store version as result[i][1] — the replication fence). A commit
-// failure after successful prepare is a heuristic outcome: it is
-// reported, but the remaining peers still commit; the failed peer's
-// result is nil.
+// CommitPrepared runs phase 2 over already-prepared peers, concurrently
+// (so durable peers' commit-record fsyncs overlap), returning each
+// peer's commit result in peer order (the XRPC server reports its
+// post-commit store version as result[i][1] — the replication fence). A
+// commit failure after successful prepare is a heuristic outcome: it is
+// reported (lowest failed peer index, deterministically), but the
+// remaining peers still commit; the failed peer's result is nil.
 func (co *Coordinator) CommitPrepared(peers []string) ([]xdm.Sequence, error) {
 	out := make([]xdm.Sequence, len(peers))
-	var firstErr error
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
 	for i, p := range peers {
-		co.logf("commit", p)
-		if co.Metrics != nil {
-			co.Metrics.Commits.Inc()
-		}
-		res, err := co.verb(p, "Commit")
-		if err != nil {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			co.logf("commit", p)
 			if co.Metrics != nil {
-				co.Metrics.CommitFailures.Inc()
+				co.Metrics.Commits.Inc()
 			}
-			if firstErr == nil {
-				firstErr = fmt.Errorf("txn: commit failed at %s: %w", p, err)
+			res, err := co.verb(p, "Commit")
+			if err != nil {
+				if co.Metrics != nil {
+					co.Metrics.CommitFailures.Inc()
+				}
+				errs[i] = err
+				return
 			}
-			continue
+			out[i] = res
+		}(i, p)
+	}
+	wg.Wait()
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			firstErr = fmt.Errorf("txn: commit failed at %s: %w", peers[i], err)
+			break
 		}
-		out[i] = res
 	}
 	return out, firstErr
 }

@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot is a full serialized store state at one version, plus the
+// shard metadata that cannot be re-derived from the shard's own subset
+// of the documents (its slot in the cluster and the partitioner's range
+// descriptors, which shardInfo advertises to coordinators).
+type Snapshot struct {
+	Version int64
+	Shard   int
+	Shards  int
+	// Ranges are cluster.KeyRange.String() descriptors.
+	Ranges []string
+	// Docs maps document name to its serialized XML text.
+	Docs map[string]string
+}
+
+// snapMagic opens every snapshot file.
+var snapMagic = []byte("XRPCSNP1")
+
+func snapPath(dir string, version int64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%020d.snap", version))
+}
+
+// snapVersions lists snapshot versions present in dir, ascending.
+func snapVersions(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []int64
+	for _, e := range entries {
+		var v int64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%020d.snap", &v); err == nil {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// HasSnapshot reports whether dir holds at least one snapshot — the
+// start-up signal that a peer should recover instead of loading
+// documents fresh.
+func HasSnapshot(dir string) bool {
+	vs, err := snapVersions(dir)
+	return err == nil && len(vs) > 0
+}
+
+func encodeSnapshot(snap *Snapshot) []byte {
+	size := 8 + 4 + 4 + 4 + 4
+	for _, r := range snap.Ranges {
+		size += 4 + len(r)
+	}
+	for name, xml := range snap.Docs {
+		size += 8 + len(name) + len(xml)
+	}
+	buf := make([]byte, 0, len(snapMagic)+size+4)
+	buf = append(buf, snapMagic...)
+	payloadStart := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(snap.Version))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(snap.Shard))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(snap.Shards))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap.Ranges)))
+	for _, r := range snap.Ranges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r)))
+		buf = append(buf, r...)
+	}
+	names := make([]string, 0, len(snap.Docs))
+	for name := range snap.Docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, name := range names {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(name)))
+		buf = append(buf, name...)
+		xml := snap.Docs[name]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xml)))
+		buf = append(buf, xml...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[payloadStart:]))
+	return buf
+}
+
+// decodeSnapshot parses a snapshot file body. All lengths are
+// bounds-checked; a truncated or corrupt file yields an error.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic)+8+4+4+4+4+4 {
+		return nil, fmt.Errorf("wal: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("wal: bad snapshot magic")
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("wal: snapshot CRC mismatch")
+	}
+	snap := &Snapshot{Docs: map[string]string{}}
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(payload) {
+			return 0, fmt.Errorf("wal: snapshot truncated")
+		}
+		v := binary.LittleEndian.Uint32(payload[off : off+4])
+		off += 4
+		return v, nil
+	}
+	str := func() (string, error) {
+		n, err := u32()
+		if err != nil {
+			return "", err
+		}
+		if off+int(n) > len(payload) {
+			return "", fmt.Errorf("wal: snapshot string overruns payload")
+		}
+		s := string(payload[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+	snap.Version = int64(binary.LittleEndian.Uint64(payload[off : off+8]))
+	off += 8
+	shard, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	snap.Shard, snap.Shards = int(shard), int(shards)
+	nr, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nr; i++ {
+		r, err := str()
+		if err != nil {
+			return nil, err
+		}
+		snap.Ranges = append(snap.Ranges, r)
+	}
+	nd, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nd; i++ {
+		name, err := str()
+		if err != nil {
+			return nil, err
+		}
+		xml, err := str()
+		if err != nil {
+			return nil, err
+		}
+		snap.Docs[name] = xml
+	}
+	return snap, nil
+}
+
+// WriteSnapshot persists the snapshot atomically: temp file, fsync,
+// rename into place, fsync the directory. Older snapshot files are
+// removed after the new one is durable — at every instant the directory
+// holds at least one complete snapshot.
+func WriteSnapshot(dir string, snap *Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	data := encodeSnapshot(snap)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: %w", err)
+	}
+	final := snapPath(dir, snap.Version)
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("wal: snapshot dir fsync: %w", err)
+	}
+	// reclaim superseded snapshots (best effort: a leftover older
+	// snapshot is only wasted space, never a correctness problem)
+	if vs, err := snapVersions(dir); err == nil {
+		for _, v := range vs {
+			if v < snap.Version {
+				os.Remove(snapPath(dir, v))
+			}
+		}
+	}
+	return nil
+}
+
+// LoadLatestSnapshot loads the newest parseable snapshot in dir. ok is
+// false when dir holds no usable snapshot. Corrupt candidates are
+// skipped in favor of older complete ones (defense in depth — the
+// tmp+rename protocol should never leave one).
+func LoadLatestSnapshot(dir string) (snap *Snapshot, ok bool, err error) {
+	vs, err := snapVersions(dir)
+	if err != nil || len(vs) == 0 {
+		return nil, false, err
+	}
+	for i := len(vs) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(snapPath(dir, vs[i]))
+		if rerr != nil {
+			continue
+		}
+		if s, derr := decodeSnapshot(data); derr == nil {
+			return s, true, nil
+		}
+	}
+	return nil, false, fmt.Errorf("wal: %s: no snapshot decodes cleanly", dir)
+}
