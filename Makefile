@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke bench-cluster bench-wal fuzz-smoke memsmoke cachesmoke obssmoke crashsmoke ci
+.PHONY: build test vet race bench bench-smoke bench-cluster bench-wal fuzz-smoke memsmoke cachesmoke obssmoke crashsmoke plansmoke ci
 
 build:
 	$(GO) build ./...
@@ -105,4 +105,17 @@ crashsmoke:
 	XRPC_CRASHSMOKE_DIR=$${XRPC_CRASHSMOKE_DIR:-/dev/shm} \
 		$(GO) test -run 'TestXrpcdCrashRecovery' -count=1 -v ./internal/cluster/
 
-ci: build vet race bench-smoke fuzz-smoke memsmoke cachesmoke obssmoke crashsmoke
+# plansmoke is the self-driving-planner acceptance check: with ZERO
+# hand-written RouteSpecs the coordinator must derive routes from the
+# compiled module bodies (equality probes routed to one shard, Lex-keyed
+# range scans pruned, underivable functions broadcast — never a wrong
+# route), stay byte-identical to broadcast on every fixture, and fence
+# its per-shard statistics on the (store version, registry generation)
+# vector so commits and module re-registrations invalidate cached stats.
+# The full sweep: xrpcbench -table planner -planner-json
+# BENCH_planner.json.
+plansmoke:
+	$(GO) test -run 'TestPlanner' -v ./internal/cluster/
+	$(GO) test -run 'TestDerivedRouteKeys|TestClusterWorkloadModuleIsUnderivable|TestPlannerBench' -v ./internal/bench/
+
+ci: build vet race bench-smoke fuzz-smoke memsmoke cachesmoke obssmoke crashsmoke plansmoke

@@ -11,6 +11,7 @@
 //	xrpcbench -table cluster     scatter-gather Bulk RPC over 1/2/4/8 shard peers
 //	xrpcbench -table cluster-update  routed vs broadcast writes, pruned vs full probes
 //	xrpcbench -table cache       three-tier cache: cold vs warm vs post-invalidation
+//	xrpcbench -table planner     self-driving planner: derived routes + cost model vs broadcast
 //	xrpcbench -table wire        SOAP encode/decode: streaming vs reference path
 //	xrpcbench -table all         everything
 //
@@ -23,7 +24,8 @@
 // sweep with its streamed-vs-buffered peak-heap columns and the
 // cluster-update rows — as one JSON snapshot (BENCH_cluster.json);
 // -cache-json writes the cache experiment rows as a JSON snapshot
-// (BENCH_cache.json).
+// (BENCH_cache.json); -planner-json writes the planner experiment rows
+// as a JSON snapshot (BENCH_planner.json).
 package main
 
 import (
@@ -41,7 +43,7 @@ import (
 
 func main() {
 	table := flag.String("table", "all",
-		"which experiment(s), comma-separated: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, cluster-update, cache, wire, all")
+		"which experiment(s), comma-separated: 2, 3, 4, throughput, fig1, bulkexec, algebra, cluster, cluster-update, cache, planner, wire, all")
 	scale := flag.Float64("scale", 0.2, "XMark scale (1.0 = paper size: 250 persons, 4875 auctions)")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated network round-trip latency")
 	x := flag.Int("x", 1000, "loop iterations for Table 2/3 ($x)")
@@ -53,6 +55,7 @@ func main() {
 	wireJSON := flag.String("wire-json", "", "write the wire experiment rows to this file as JSON")
 	clusterJSON := flag.String("cluster-json", "", "write the cluster experiment rows (scatter sweep + cluster-update) to this file as JSON")
 	cacheJSON := flag.String("cache-json", "", "write the cache experiment rows to this file as JSON")
+	plannerJSON := flag.String("planner-json", "", "write the planner experiment rows to this file as JSON")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -125,11 +128,45 @@ func main() {
 			return runCache(*scale, *rtt, *cacheJSON)
 		})
 	}
+	if all || selected["planner"] {
+		run("Self-driving planner (derived routes + cost model vs broadcast)", func() error {
+			return runPlanner(*scale, *rtt, *plannerJSON)
+		})
+	}
 	if all || selected["wire"] {
 		run("SOAP wire path (streaming vs reference)", func() error {
 			return runWire(*useGzip, *wireJSON)
 		})
 	}
+}
+
+// runPlanner sweeps the self-driving coordinator — ZERO hand-written
+// RouteSpecs, every route derived by the compiler — against the plain
+// broadcast coordinator over 1/2/4/8 shard peers: keyed point probes,
+// a derived range scan, and the cost-model semi-join shipping keys,
+// data, or the measured smaller side. Every mode's response is verified
+// byte-identical to the unsharded single-peer baseline before timing.
+func runPlanner(scale float64, rtt time.Duration, jsonPath string) error {
+	cfg := xmark.PaperConfig(scale)
+	fmt.Printf("XMark: %d persons, %d closed auctions; rtt %v, %d MB/s links\n",
+		cfg.Persons, cfg.ClosedAuctions, rtt, bench.ClusterBandwidth/(1024*1024))
+	rows, err := bench.RunPlannerBench(cfg, []int{1, 2, 4, 8}, rtt, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatPlannerBench(rows))
+	fmt.Println("\nzero hand-written route specs; every response verified byte-identical to the unsharded baseline before timing")
+	if jsonPath != "" {
+		data, err := bench.PlannerSnapshotJSON(rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runCache sweeps the version-fenced cache tiers over 1/2/4/8 shard

@@ -86,7 +86,14 @@ func newClusterUpdateEnv(xml string, shards int, routes bool, rtt time.Duration)
 	if err != nil {
 		return nil, err
 	}
-	return &clusterUpdateEnv{net: net, dep: dep, co: dep.Coordinator()}, nil
+	co := dep.Coordinator()
+	if !routes {
+		// the broadcast/full baselines measure the pre-planner cluster: a
+		// plain coordinator, no routes and no self-driving planner (the
+		// deployment coordinator would derive the routes and prune anyway)
+		co = cluster.NewCoordinator(dep.Table, client.New(net))
+	}
+	return &clusterUpdateEnv{net: net, dep: dep, co: co}, nil
 }
 
 func personKeys(persons, n int) []string {

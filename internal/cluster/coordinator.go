@@ -8,6 +8,7 @@ import (
 
 	"xrpc/internal/client"
 	"xrpc/internal/obs"
+	"xrpc/internal/planner"
 	"xrpc/internal/txn"
 	"xrpc/internal/xdm"
 )
@@ -33,6 +34,19 @@ type RouteSpec struct {
 	// Doc and Path name the partitioned container the key selects in
 	// (KeyRange coordinates, e.g. "persons.xml", "/site/people/person").
 	Doc, Path string
+	// Op is the comparison the function applies between the container
+	// key and the key argument ("" means "="). Range operators arise
+	// only from compiler-derived specs and prune against codepoint-
+	// ordered key bounds (KeyRange.Lex).
+	Op string
+}
+
+// op normalizes the spec's comparison operator.
+func (s *RouteSpec) op() string {
+	if s.Op == "" {
+		return "="
+	}
+	return s.Op
 }
 
 // Coordinator fans Bulk RPC requests out across the shards of a routing
@@ -103,6 +117,13 @@ type Coordinator struct {
 	// SlowLog, when non-nil, writes a structured record for scatters
 	// slower than its threshold, carrying the request's trace ID.
 	SlowLog *obs.SlowLog
+	// Planner, when non-nil, derives route specs from the compiled
+	// module bodies for functions with no registered RouteSpec, keeps
+	// fenced per-shard statistics, and cost-compares pruned execution
+	// against broadcast for derived routes (see internal/planner and
+	// planner.go in this package). Nil keeps the registered-specs-only
+	// behaviour.
+	Planner *planner.Planner
 
 	mu     sync.RWMutex
 	routes []RouteSpec
@@ -124,16 +145,25 @@ func (co *Coordinator) Route(spec RouteSpec) {
 	co.routes = append(co.routes, spec)
 }
 
-func (co *Coordinator) routeFor(br *client.BulkRequest) *RouteSpec {
+// registeredSpec finds the hand-written route spec for the request. The
+// second return is a non-empty reason when a spec names the function
+// but cannot apply to this request (KeyArg outside the request arity) —
+// previously a silent broadcast fallback, now warned once and counted.
+func (co *Coordinator) registeredSpec(br *client.BulkRequest) (*RouteSpec, string) {
 	co.mu.RLock()
 	defer co.mu.RUnlock()
+	reason := ""
 	for i := range co.routes {
-		if co.routes[i].ModuleURI == br.ModuleURI && co.routes[i].Func == br.Func &&
-			co.routes[i].KeyArg >= 0 && co.routes[i].KeyArg < br.Arity {
-			return &co.routes[i]
+		if co.routes[i].ModuleURI != br.ModuleURI || co.routes[i].Func != br.Func {
+			continue
 		}
+		if co.routes[i].KeyArg >= 0 && co.routes[i].KeyArg < br.Arity {
+			return &co.routes[i], ""
+		}
+		reason = fmt.Sprintf("registered KeyArg %d outside request arity %d",
+			co.routes[i].KeyArg, br.Arity)
 	}
-	return nil
+	return nil, reason
 }
 
 func (co *Coordinator) clusterURI() string {
@@ -214,9 +244,11 @@ func (co *Coordinator) ScatterBuffered(br *client.BulkRequest) ([]xdm.Sequence, 
 	if err := co.validTable(); err != nil {
 		return nil, err
 	}
-	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
-		return co.scatterPruned(br, spec)
+	dec := co.plan(br)
+	if dec.strategy != "broadcast" {
+		return co.scatterPruned(br, dec)
 	}
+	co.countStrategy("broadcast")
 	co.Metrics.countScatter("broadcast")
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
@@ -284,7 +316,7 @@ func (co *Coordinator) partition(br *client.BulkRequest, spec *RouteSpec) []*sha
 	for ci := range br.Calls {
 		cand := allShards(n)
 		if key, ok := callKey(br, ci, spec); ok {
-			cand = co.Table.CandidateShards(spec.Doc, spec.Path, key)
+			cand = co.Table.CandidateShardsOp(spec.Doc, spec.Path, key, spec.op())
 		}
 		for _, s := range cand {
 			part, ok := byShard[s]
@@ -317,17 +349,19 @@ func allShards(n int) []int {
 	return out
 }
 
-// scatterPruned ships each call only to its candidate shards. Merged
-// result i concatenates, in shard order, the results of the shards that
-// received call i — byte-identical to broadcast because a pruned shard's
-// range proves its result for the call would have been empty.
-func (co *Coordinator) scatterPruned(br *client.BulkRequest, spec *RouteSpec) ([]xdm.Sequence, error) {
+// scatterPruned ships each call only to its candidate shards (the
+// decision's precomputed partition). Merged result i concatenates, in
+// shard order, the results of the shards that received call i —
+// byte-identical to broadcast because a pruned shard's range proves its
+// result for the call would have been empty.
+func (co *Coordinator) scatterPruned(br *client.BulkRequest, dec *planDecision) ([]xdm.Sequence, error) {
 	co.Metrics.countScatter("pruned")
+	co.countStrategy(dec.strategy)
 	var start time.Time
 	if co.Metrics != nil || co.SlowLog != nil {
 		start = time.Now()
 	}
-	parts := co.partition(br, spec)
+	parts := dec.parts
 	results := make([][]xdm.Sequence, len(parts))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
@@ -356,7 +390,7 @@ func (co *Coordinator) scatterPruned(br *client.BulkRequest, spec *RouteSpec) ([
 		}
 	}
 	if !start.IsZero() {
-		co.observeScatter(br, len(parts), nil, time.Since(start))
+		co.observeScatter(br, len(parts), nil, time.Since(start), dec)
 	}
 	return merged, nil
 }
@@ -368,7 +402,7 @@ func (co *Coordinator) scatterPruned(br *client.BulkRequest, spec *RouteSpec) ([
 // so a deterministic rejection would only repeat.
 func (co *Coordinator) callShard(shard int, body []byte, calls int) ([]xdm.Sequence, error) {
 	var start time.Time
-	if co.Metrics != nil {
+	if co.Metrics != nil || co.Planner != nil {
 		start = time.Now()
 	}
 	replicas := co.Table.Replicas(shard)
@@ -378,6 +412,7 @@ func (co *Coordinator) callShard(shard int, body []byte, calls int) ([]xdm.Seque
 		if err == nil {
 			if !start.IsZero() {
 				co.Metrics.observeCall(shard, time.Since(start), a)
+				co.notePlannerCall(shard, time.Since(start))
 			}
 			return res, nil
 		}
@@ -406,7 +441,15 @@ func (co *Coordinator) Update(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if err := co.validTable(); err != nil {
 		return nil, err
 	}
-	spec := co.routeFor(br)
+	spec, _ := co.registeredSpec(br)
+	if spec == nil {
+		// no hand-written spec: a derived equality route is just as
+		// sound for updates — the derivation proves the body's update
+		// targets only touch rows carrying the key
+		if d, _, _ := co.derivedSpec(br); d != nil && d.op() == "=" {
+			spec = d
+		}
+	}
 	if spec == nil {
 		return nil, xdm.Errorf("XRPC0007",
 			"cluster: no route for updating function %s#%s — register a cluster.RouteSpec naming its partition-key parameter",
@@ -426,6 +469,7 @@ func (co *Coordinator) Update(br *client.BulkRequest) ([]xdm.Sequence, error) {
 				ci, key, len(cand))
 		}
 	}
+	co.countStrategy("routed")
 	parts := co.partition(br, spec)
 
 	// one transaction per updating bulk request: a fresh queryID scopes

@@ -8,6 +8,7 @@ import (
 	"xrpc/internal/interp"
 	"xrpc/internal/modules"
 	"xrpc/internal/netsim"
+	"xrpc/internal/planner"
 	"xrpc/internal/server"
 	"xrpc/internal/soap"
 	"xrpc/internal/store"
@@ -67,6 +68,9 @@ type Deployment struct {
 	Stores  [][]*store.Store
 	// Routes are the partition-key declarations of the deployment.
 	Routes []RouteSpec
+	// Registry is the module registry every shard executor shares —
+	// what the coordinator's planner derives route specs from.
+	Registry *modules.Registry
 
 	resultCacheBytes int64
 }
@@ -89,10 +93,11 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 		return nil, err
 	}
 	dep := &Deployment{
-		Net:     net,
-		Table:   rt,
-		Servers: make([][]*server.Server, cfg.Shards),
-		Stores:  make([][]*store.Store, cfg.Shards),
+		Net:      net,
+		Table:    rt,
+		Servers:  make([][]*server.Server, cfg.Shards),
+		Stores:   make([][]*store.Store, cfg.Shards),
+		Registry: reg,
 	}
 	// partition once per document, reused by every replica of a shard;
 	// the emitted ranges become the routing table's partition metadata
@@ -174,7 +179,8 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 
 // Coordinator returns a scatter-gather coordinator over this
 // deployment's routing table, sending through a fresh client on the
-// deployment's network, with the deployment's routes registered.
+// deployment's network, with the deployment's routes registered and a
+// planner deriving routes for everything the routes don't cover.
 func (d *Deployment) Coordinator() *Coordinator {
 	co := NewCoordinator(d.Table, client.New(d.Net))
 	for _, r := range d.Routes {
@@ -183,6 +189,7 @@ func (d *Deployment) Coordinator() *Coordinator {
 	if d.resultCacheBytes > 0 {
 		co.ResultCache = NewResultCache(d.resultCacheBytes)
 	}
+	co.Planner = planner.New(d.Registry)
 	return co
 }
 

@@ -202,21 +202,25 @@ func (co *Coordinator) Scatter(br *client.BulkRequest) ([]xdm.Sequence, error) {
 
 // scatterDirect is the scatter proper, cache considerations aside.
 func (co *Coordinator) scatterDirect(br *client.BulkRequest) ([]xdm.Sequence, error) {
-	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
-		return co.scatterPruned(br, spec)
+	dec := co.plan(br)
+	if dec.strategy != "broadcast" {
+		return co.scatterPruned(br, dec)
 	}
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
-	merged, _, err := co.gatherCapture(br, enc.Bytes(), false)
+	merged, _, err := co.gatherCapture(br, enc.Bytes(), false, dec)
 	return merged, err
 }
 
 // gatherCapture runs the streamed broadcast gather; with capture set it
 // additionally records each shard's own result sequences (the per-shard
 // split the result cache needs to refresh stale shards individually).
-func (co *Coordinator) gatherCapture(br *client.BulkRequest, body []byte, capture bool) ([]xdm.Sequence, [][]xdm.Sequence, error) {
+// dec, when non-nil, carries the planner decision that chose this
+// broadcast (its cost estimates feed the slow-query log).
+func (co *Coordinator) gatherCapture(br *client.BulkRequest, body []byte, capture bool, dec *planDecision) ([]xdm.Sequence, [][]xdm.Sequence, error) {
 	calls := len(br.Calls)
 	co.Metrics.countScatter("broadcast")
+	co.countStrategy("broadcast")
 	var start time.Time
 	if co.Metrics != nil || co.SlowLog != nil {
 		start = time.Now()
@@ -249,7 +253,7 @@ func (co *Coordinator) gatherCapture(br *client.BulkRequest, body []byte, captur
 		return nil, nil, err
 	}
 	if !start.IsZero() {
-		co.observeScatter(br, len(conns), conns, time.Since(start))
+		co.observeScatter(br, len(conns), conns, time.Since(start), dec)
 	}
 	return merged, perShard, nil
 }
@@ -272,8 +276,9 @@ func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error 
 	if err := co.validTable(); err != nil {
 		return err
 	}
-	if spec := co.routeFor(br); spec != nil && co.Table.Prunable(spec.Doc, spec.Path) {
-		results, err := co.scatterPruned(br, spec)
+	dec := co.plan(br)
+	if dec.strategy != "broadcast" {
+		results, err := co.scatterPruned(br, dec)
 		if err != nil {
 			return err
 		}
@@ -294,7 +299,7 @@ func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error 
 	}
 	enc := co.Client.EncodeBulk(br)
 	defer enc.Release()
-	_, _, err := co.gatherStreamCapture(br, enc.Bytes(), w, false)
+	_, _, err := co.gatherStreamCapture(br, enc.Bytes(), w, false, dec)
 	return err
 }
 
@@ -306,9 +311,10 @@ func (co *Coordinator) ScatterStream(br *client.BulkRequest, w io.Writer) error 
 // input — at the cost of holding one copy of the result; without it
 // nothing is retained and coordinator memory stays bounded by the
 // per-shard read-ahead windows.
-func (co *Coordinator) gatherStreamCapture(br *client.BulkRequest, body []byte, w io.Writer, capture bool) ([]xdm.Sequence, [][]xdm.Sequence, error) {
+func (co *Coordinator) gatherStreamCapture(br *client.BulkRequest, body []byte, w io.Writer, capture bool, dec *planDecision) ([]xdm.Sequence, [][]xdm.Sequence, error) {
 	calls := len(br.Calls)
 	co.Metrics.countScatter("broadcast")
+	co.countStrategy("broadcast")
 	var start time.Time
 	if co.Metrics != nil || co.SlowLog != nil {
 		start = time.Now()
@@ -360,7 +366,7 @@ func (co *Coordinator) gatherStreamCapture(br *client.BulkRequest, body []byte, 
 		return nil, nil, err
 	}
 	if !start.IsZero() {
-		co.observeScatter(br, len(conns), conns, time.Since(start))
+		co.observeScatter(br, len(conns), conns, time.Since(start), dec)
 	}
 	return merged, perShard, nil
 }

@@ -139,7 +139,9 @@ func (rc *ResultCache) RegisterMetrics(reg *obs.Registry) {
 // past the slow-query threshold, a structured record with the trace ID
 // and per-shard open timings — the coordinator half of the slow-query
 // log (each shard's server writes its own half under the same trace).
-func (co *Coordinator) observeScatter(br *client.BulkRequest, fanout int, conns []*shardStream, d time.Duration) {
+// A non-nil dec adds the planner's strategy and its estimated cost next
+// to the actual duration, so mispredictions are visible in the log.
+func (co *Coordinator) observeScatter(br *client.BulkRequest, fanout int, conns []*shardStream, d time.Duration, dec *planDecision) {
 	if m := co.Metrics; m != nil {
 		m.Fanout.Observe(float64(fanout))
 		m.Latency.ObserveDuration(d)
@@ -158,6 +160,14 @@ func (co *Coordinator) observeScatter(br *client.BulkRequest, fanout int, conns 
 		"calls", len(br.Calls),
 		"fanout", fanout,
 		"dur_ms", d.Milliseconds(),
+	}
+	if dec != nil {
+		attrs = append(attrs, "strategy", dec.strategy)
+		if dec.est > 0 {
+			attrs = append(attrs,
+				"est_cost_ms", dec.est*1000,
+				"est_alt_cost_ms", dec.estAlt*1000)
+		}
 	}
 	if len(conns) > 0 {
 		shardMS := make([]float64, len(conns))

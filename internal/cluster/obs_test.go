@@ -14,6 +14,7 @@ import (
 
 	"xrpc/internal/netsim"
 	"xrpc/internal/obs"
+	"xrpc/internal/planner"
 	"xrpc/internal/server"
 	"xrpc/internal/wal"
 	"xrpc/internal/xmark"
@@ -31,9 +32,11 @@ func TestObsSmoke(t *testing.T) {
 	net := netsim.NewNetwork(0, 0)
 	const persons = 40
 	xml := xmark.GeneratePersons(xmark.Config{Persons: persons, Seed: 11})
+	// getPerson gets NO hand-written route: the planner derives it, so
+	// the smoke covers the derivation and strategy counters too
 	dep, err := Deploy(net, personsRegistry(t), map[string]string{"persons.xml": xml},
 		DeployConfig{
-			Shards: 2, Replication: 2, Routes: personRoutes(),
+			Shards: 2, Replication: 2, Routes: personRoutes()[1:],
 			RespCacheBytes:   8 << 20,
 			ResultCacheBytes: 8 << 20,
 			WALRoot:          t.TempDir(),
@@ -50,6 +53,8 @@ func TestObsSmoke(t *testing.T) {
 	co.ResultCache.RegisterMetrics(reg)
 	co.Client.RegisterMetrics(reg)
 	net.RegisterMetrics(reg)
+	co.Planner.Metrics = planner.NewMetrics(reg)
+	planner.RegisterStats(reg, co.Planner.Stats)
 
 	// one shared WAL metric family across every replica's log: fsync
 	// latency, appends by kind, and the resync/replay counters
@@ -85,6 +90,20 @@ func TestObsSmoke(t *testing.T) {
 	}
 	if n := reg.MustGather("xrpc_cluster_scatters_total", obs.Label{Key: "mode", Value: "pruned"}); n < 1 {
 		t.Fatalf("cold read: pruned scatters = %v, want >= 1", n)
+	}
+	// the route-less getPerson went through the derivation pass and the
+	// strategy decision, and the probe round installed shard statistics
+	if n := reg.MustGather("xrpc_planner_derivations_total", obs.Label{Key: "outcome", Value: "derived"}); n < 1 {
+		t.Fatalf("cold read: derivations = %v, want >= 1 (getPerson auto-derived)", n)
+	}
+	if n := reg.MustGather("xrpc_planner_derivations_total", obs.Label{Key: "outcome", Value: "fallback"}); n < 1 {
+		t.Fatalf("cold read: derivation fallbacks = %v, want >= 1 (cityOf is underivable)", n)
+	}
+	if n := reg.MustGather("xrpc_planner_strategy_total", obs.Label{Key: "strategy", Value: "routed"}); n < 1 {
+		t.Fatalf("cold read: routed strategy decisions = %v, want >= 1", n)
+	}
+	if n := reg.MustGather("xrpc_planner_stats_refreshes_total"); n < 2 {
+		t.Fatalf("cold read: planner stats refreshes = %v, want >= 2 (one per shard)", n)
 	}
 
 	// --- warm read: tier-2 hit, shards see only the shardInfo probe
@@ -133,6 +152,10 @@ func TestObsSmoke(t *testing.T) {
 	if n := reg.MustGather("xrpc_resultcache_partial_hits_total") +
 		reg.MustGather("xrpc_resultcache_misses_total"); n < 2 {
 		t.Fatalf("post-write read did not re-query: partial+misses = %v", n)
+	}
+	// the same moved fence dropped the touched shard's planner snapshot
+	if n := reg.MustGather("xrpc_planner_stats_invalidations_total"); n < 1 {
+		t.Fatalf("post-write read: planner stats invalidations = %v, want >= 1", n)
 	}
 
 	// --- demote → resync → rejoin: the durability counters move
@@ -216,6 +239,9 @@ func TestObsSmoke(t *testing.T) {
 		"xrpc_txn_commits_total 2",
 		`xrpc_cluster_shard_open_seconds_bucket{shard="0",le="+Inf"}`,
 		`xrpc_wal_appends_total{kind="commit"}`,
+		`xrpc_planner_strategy_total{strategy="routed"}`,
+		`xrpc_planner_derivations_total{outcome="derived"}`,
+		"xrpc_planner_stats_refreshes_total",
 		"# TYPE xrpc_wal_fsync_seconds histogram",
 		"xrpc_wal_resyncs_total",
 		"xrpc_cluster_rejoins_total 1",

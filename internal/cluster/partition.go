@@ -119,9 +119,13 @@ func isContainer(n *xdm.Node) bool {
 // child (in its attribute order) wins, deterministically. Returns
 // ("", nil) for unkeyed containers — pruning then stays disabled for
 // them, which is always sound.
-func containerKey(kids []*xdm.Node) (string, []string) {
+// The third return reports whether the keys are strictly increasing in
+// plain codepoint order as well (KeyRange.Lex): only then can range
+// predicates — which XQuery evaluates in codepoint order — be pruned
+// against the natural-order shard bounds.
+func containerKey(kids []*xdm.Node) (string, []string, bool) {
 	if len(kids) == 0 {
-		return "", nil
+		return "", nil, false
 	}
 	var candidates []string
 	if _, ok := kids[0].Attr("id"); ok {
@@ -135,6 +139,7 @@ func containerKey(kids []*xdm.Node) (string, []string) {
 next:
 	for _, attr := range candidates {
 		keys := make([]string, len(kids))
+		lex := true
 		for i, ch := range kids {
 			v, ok := ch.Attr(attr)
 			if !ok {
@@ -143,11 +148,14 @@ next:
 			if i > 0 && CompareKeys(keys[i-1], v) >= 0 {
 				continue next // not strictly increasing: bounds would lie
 			}
+			if i > 0 && strings.Compare(keys[i-1], v) >= 0 {
+				lex = false
+			}
 			keys[i] = v
 		}
-		return attr, keys
+		return attr, keys, lex
 	}
-	return "", nil
+	return "", nil, false
 }
 
 // shardTree builds shard k's copy of the tree under n: containers keep
@@ -169,8 +177,8 @@ func shardTree(n *xdm.Node, k, shards int, doc, path string, ranges *[]KeyRange)
 		kids := n.ChildElements()
 		lo, hi := k*len(kids)/shards, (k+1)*len(kids)/shards
 		r := KeyRange{Doc: doc, Path: path + "/" + kids[0].Name, Lo: lo, Hi: hi}
-		if attr, keys := containerKey(kids); attr != "" {
-			r.Keyed, r.KeyAttr = true, attr
+		if attr, keys, lex := containerKey(kids); attr != "" {
+			r.Keyed, r.KeyAttr, r.Lex = true, attr, lex
 			if lo < hi {
 				r.MinKey, r.MaxKey = keys[lo], keys[hi-1]
 			}

@@ -168,6 +168,9 @@ func (co *Coordinator) probeFences() ([]shardFence, error) {
 			return nil, err
 		}
 	}
+	// the planner's per-shard statistics fence on the same probe round:
+	// revalidation and snapshot refresh ride along for free
+	co.notePlannerFences(fences)
 	return fences, nil
 }
 
@@ -194,9 +197,6 @@ func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, er
 	defer enc.Release()
 	body := enc.Bytes()
 	key := string(body)
-
-	spec := co.routeFor(br)
-	pruned := spec != nil && co.Table.Prunable(spec.Doc, spec.Path)
 
 	if v, _, ok := rc.lru.GetAny(key); ok {
 		entry := v.(*resultEntry)
@@ -234,13 +234,14 @@ func (co *Coordinator) scatterCached(br *client.BulkRequest) ([]xdm.Sequence, er
 	// when the fence vectors agree — a commit landing mid-scatter could
 	// otherwise tag mixed-version results as clean
 	pre, preErr := co.probeFences()
+	dec := co.plan(br)
 	var merged []xdm.Sequence
 	var perShard [][]xdm.Sequence
 	var err error
-	if pruned {
-		merged, err = co.scatterPruned(br, spec)
+	if dec.strategy != "broadcast" {
+		merged, err = co.scatterPruned(br, dec)
 	} else {
-		merged, perShard, err = co.gatherCapture(br, body, preErr == nil)
+		merged, perShard, err = co.gatherCapture(br, body, preErr == nil, dec)
 	}
 	if err != nil {
 		return nil, err
@@ -286,7 +287,7 @@ func (co *Coordinator) scatterCachedStream(br *client.BulkRequest, w io.Writer) 
 		switch {
 		case err != nil:
 			rc.Misses.Add(1)
-			_, _, err := co.gatherStreamCapture(br, body, w, false)
+			_, _, err := co.gatherStreamCapture(br, body, w, false, nil)
 			return err
 		case sameFences(entry.fences, probed):
 			rc.Hits.Add(1)
@@ -305,7 +306,7 @@ func (co *Coordinator) scatterCachedStream(br *client.BulkRequest, w io.Writer) 
 
 	rc.Misses.Add(1)
 	pre, preErr := co.probeFences()
-	merged, perShard, err := co.gatherStreamCapture(br, body, w, preErr == nil)
+	merged, perShard, err := co.gatherStreamCapture(br, body, w, preErr == nil, nil)
 	if err != nil {
 		return err
 	}

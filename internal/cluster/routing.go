@@ -31,6 +31,15 @@ type KeyRange struct {
 	// MinKey, MaxKey are the inclusive key bounds of this shard's slice
 	// (empty when the slice is empty).
 	MinKey, MaxKey string
+	// Lex reports that the container's keys are strictly increasing in
+	// plain codepoint order too (not just natural order) across the
+	// whole document. XQuery string comparison is codepoint order, so
+	// only then do MinKey/MaxKey bound the shard's keys under the order
+	// a range predicate (@a >= $k) actually evaluates in — which is
+	// what makes range-predicate pruning sound. Generated keys like
+	// personN are natural-ordered but not codepoint-ordered ("person10"
+	// < "person9"), so Lex stays false and range pruning stays off.
+	Lex bool
 }
 
 // Empty reports whether the shard holds no children of this container.
@@ -56,6 +65,9 @@ func (r KeyRange) String() string {
 	s := fmt.Sprintf("%s %s [%d,%d)", strconv.Quote(r.Doc), strconv.Quote(r.Path), r.Lo, r.Hi)
 	if r.Keyed {
 		s += fmt.Sprintf(" %s %s %s", strconv.Quote(r.KeyAttr), strconv.Quote(r.MinKey), strconv.Quote(r.MaxKey))
+		if r.Lex {
+			s += " lex"
+		}
 	}
 	return s
 }
@@ -108,7 +120,12 @@ func ParseKeyRange(s string) (KeyRange, error) {
 	if r.MaxKey, rest, ok = quoted(rest); !ok {
 		return fail()
 	}
-	if strings.TrimSpace(rest) != "" {
+	rest = strings.TrimSpace(rest)
+	if rest == "lex" {
+		r.Lex = true
+		rest = ""
+	}
+	if rest != "" {
 		return fail()
 	}
 	return r, nil
@@ -281,16 +298,86 @@ func (rt *RoutingTable) Prunable(doc, path string) bool {
 // container are always candidates — a shard is excluded only when its
 // range proves the key absent, so pruning can never change results.
 func (rt *RoutingTable) CandidateShards(doc, path, key string) []int {
+	return rt.CandidateShardsOp(doc, path, key, "=")
+}
+
+// containsOp reports whether this shard's slice may hold a key
+// satisfying `@attr op key`. Equality resolves in natural key order
+// (Contains); range operators resolve in codepoint order — the order
+// XQuery string comparison uses — and can only exclude a shard whose
+// container is Lex (codepoint-sorted), because only then are
+// MinKey/MaxKey codepoint bounds of the slice.
+func (r KeyRange) containsOp(key, op string) bool {
+	if op == "=" {
+		return r.Contains(key)
+	}
+	if !r.Keyed || !r.Lex {
+		return true
+	}
+	if r.Empty() {
+		return false
+	}
+	switch op {
+	case "<":
+		return strings.Compare(r.MinKey, key) < 0
+	case "<=":
+		return strings.Compare(r.MinKey, key) <= 0
+	case ">":
+		return strings.Compare(r.MaxKey, key) > 0
+	case ">=":
+		return strings.Compare(r.MaxKey, key) >= 0
+	}
+	return true // unknown operator: never exclude
+}
+
+// CandidateShardsOp generalizes CandidateShards to range predicates:
+// the shards whose range may hold a key satisfying `@attr op key`, in
+// shard order. Same conservatism: a shard is excluded only when its
+// range proves no key can match.
+func (rt *RoutingTable) CandidateShardsOp(doc, path, key, op string) []int {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
 	out := make([]int, 0, len(rt.replicas))
 	for s := range rt.replicas {
 		r, ok := rangeFor(rt.ranges[s], doc, path)
-		if !ok || !r.Keyed || r.Contains(key) {
+		if !ok || r.containsOp(key, op) {
 			out = append(out, s)
 		}
 	}
 	return out
+}
+
+// FindContainer locates the unique keyed container whose path matches
+// the derived pattern: the full rooted path when rooted, otherwise a
+// path whose trailing steps equal the suffix ("person" matches
+// "/site/people/person"). Ambiguous suffixes (two containers ending in
+// the same steps) match nothing — a derived spec must never guess.
+func (rt *RoutingTable) FindContainer(doc, suffix string, rooted bool) (KeyRange, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	matched := map[string]KeyRange{}
+	for _, ranges := range rt.ranges {
+		for _, r := range ranges {
+			if r.Doc != doc || !r.Keyed {
+				continue
+			}
+			if rooted {
+				if r.Path != suffix {
+					continue
+				}
+			} else if r.Path != suffix && !strings.HasSuffix(r.Path, "/"+suffix) {
+				continue
+			}
+			matched[r.Path] = r
+		}
+	}
+	if len(matched) != 1 {
+		return KeyRange{}, false
+	}
+	for _, r := range matched {
+		return r, true
+	}
+	return KeyRange{}, false
 }
 
 // NumShards returns the number of shards the table routes.

@@ -16,6 +16,7 @@ import (
 	"xrpc/internal/modules"
 	"xrpc/internal/netsim"
 	"xrpc/internal/pathfinder"
+	"xrpc/internal/planner"
 	"xrpc/internal/server"
 	"xrpc/internal/store"
 	"xrpc/internal/wrapper"
@@ -180,6 +181,23 @@ let $ca := execute at {"xrpc://cluster"} {b:Q_B3(string($p/@id))}
 return if(empty($ca)) then ()
        else <result>{$p, $ca/annotation}</result>`
 
+// QShardedSemiJoinData is the ship-data-side variant of the sharded
+// semi-join: instead of shipping one probe key per person to the
+// auction shards, the auction side ships whole — the loop-invariant
+// Q_B1() broadcast deduplicates to a single scattered request — and the
+// join filter runs at the probe side. Same result, byte for byte: the
+// broadcast merge is in shard = document order, so filtering it locally
+// selects the same auctions in the same order the per-key probes
+// return them. Which variant is cheaper depends on the measured sides
+// (ChooseSemiJoinSide); RunSemiJoinAuto executes the cheaper one.
+const QShardedSemiJoinData = `
+import module namespace b="functions_b" at "http://example.org/b.xq";
+for $p in doc("persons.xml")//person
+let $all := execute at {"xrpc://cluster"} {b:Q_B1()}
+let $ca := $all[buyer/@person = string($p/@id)]
+return if(empty($ca)) then ()
+       else <result>{$p, $ca/annotation}</result>`
+
 // ShardedEnv is the N-peer deployment for the sharded semi-join:
 // peer A keeps persons.xml and the loop-lifting engine; auctions.xml is
 // partitioned across store-backed shard peers driven by a
@@ -189,6 +207,13 @@ type ShardedEnv struct {
 	Registry *modules.Registry
 	StoreA   *store.Store
 	Dep      *cluster.Deployment
+
+	// Measured side sizes for the costed semi-join side choice:
+	// Persons probe keys of ~KeyBytes each against Auctions rows of
+	// ~AuctionItemBytes serialized bytes each.
+	Persons, Auctions int
+	KeyBytes          float64
+	AuctionItemBytes  float64
 }
 
 // NewShardedEnv partitions the generated auctions.xml across shards
@@ -199,24 +224,96 @@ func NewShardedEnv(cfg xmark.Config, shards, replication int, net *netsim.Networ
 	if err := reg.Register(FunctionsB, "http://example.org/b.xq"); err != nil {
 		return nil, err
 	}
+	personsXML := xmark.GeneratePersons(cfg)
+	auctionsXML := xmark.GenerateAuctions(cfg)
 	stA := store.New()
-	if err := stA.LoadXML("persons.xml", xmark.GeneratePersons(cfg)); err != nil {
+	if err := stA.LoadXML("persons.xml", personsXML); err != nil {
 		return nil, err
 	}
 	dep, err := cluster.Deploy(net, reg, map[string]string{
-		"auctions.xml": xmark.GenerateAuctions(cfg),
+		"auctions.xml": auctionsXML,
 	}, cluster.DeployConfig{Shards: shards, Replication: replication})
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedEnv{Net: net, Registry: reg, StoreA: stA, Dep: dep}, nil
+	env := &ShardedEnv{Net: net, Registry: reg, StoreA: stA, Dep: dep}
+	if err := env.measureSides(personsXML, auctionsXML); err != nil {
+		return nil, err
+	}
+	return env, nil
 }
 
-// RunSemiJoin executes the sharded semi-join and returns the Table 4
-// style measurements plus the result sequence for verification against
-// the unsharded baseline. BTime aggregates handler time across all
-// shard peers.
+// measureSides sizes the semi-join's two sides from the generated
+// documents: probe keys (person ids, with average length) and data rows
+// (closed auctions, with average serialized size) — the cost inputs of
+// the ship-smallest-side decision.
+func (env *ShardedEnv) measureSides(personsXML, auctionsXML string) error {
+	pd, err := xdm.ParseDocument("persons.xml", personsXML)
+	if err != nil {
+		return err
+	}
+	var keyLen int
+	for _, p := range xdm.Step(pd, xdm.AxisDescendant, xdm.NodeTest{Name: "person"}) {
+		id, _ := p.Attr("id")
+		env.Persons++
+		keyLen += len(id)
+	}
+	if env.Persons > 0 {
+		env.KeyBytes = float64(keyLen) / float64(env.Persons)
+	}
+	ad, err := xdm.ParseDocument("auctions.xml", auctionsXML)
+	if err != nil {
+		return err
+	}
+	env.Auctions = len(xdm.Step(ad, xdm.AxisDescendant, xdm.NodeTest{Name: "closed_auction"}))
+	if env.Auctions > 0 {
+		env.AuctionItemBytes = float64(len(auctionsXML)) / float64(env.Auctions)
+	}
+	return nil
+}
+
+// ChooseSemiJoinSide costs both sides of the sharded semi-join with the
+// planner's model: ship the person keys to the auction shards
+// (QShardedSemiJoin) or ship every auction row to the probe side once
+// (QShardedSemiJoinData).
+func (env *ShardedEnv) ChooseSemiJoinSide() planner.SemiJoinChoice {
+	return planner.NewStats().ChooseSemiJoin(
+		env.Persons, env.KeyBytes, int64(env.Auctions), env.AuctionItemBytes)
+}
+
+// RunSemiJoin executes the sharded semi-join (ship-keys side) and
+// returns the Table 4 style measurements plus the result sequence for
+// verification against the unsharded baseline. BTime aggregates handler
+// time across all shard peers.
 func (env *ShardedEnv) RunSemiJoin() (*Result, xdm.Sequence, error) {
+	return env.runSharded(
+		fmt.Sprintf("sharded semi-join ×%d", env.Dep.Table.NumShards()), QShardedSemiJoin)
+}
+
+// RunSemiJoinData executes the ship-data-side variant: one broadcast of
+// the whole auction side, joined at the probe side.
+func (env *ShardedEnv) RunSemiJoinData() (*Result, xdm.Sequence, error) {
+	return env.runSharded(
+		fmt.Sprintf("sharded semi-join (data side) ×%d", env.Dep.Table.NumShards()), QShardedSemiJoinData)
+}
+
+// RunSemiJoinAuto costs both sides and executes the cheaper one — the
+// measured smaller side ships. The returned choice carries the two
+// estimates for the slow-query log's estimated-vs-actual line.
+func (env *ShardedEnv) RunSemiJoinAuto() (*Result, xdm.Sequence, planner.SemiJoinChoice, error) {
+	choice := env.ChooseSemiJoinSide()
+	var r *Result
+	var seq xdm.Sequence
+	var err error
+	if choice.ShipKeys {
+		r, seq, err = env.RunSemiJoin()
+	} else {
+		r, seq, err = env.RunSemiJoinData()
+	}
+	return r, seq, choice, err
+}
+
+func (env *ShardedEnv) runSharded(label, query string) (*Result, xdm.Sequence, error) {
 	for _, reps := range env.Dep.Servers {
 		for _, srv := range reps {
 			srv.ResetStats()
@@ -226,7 +323,7 @@ func (env *ShardedEnv) RunSemiJoin() (*Result, xdm.Sequence, error) {
 
 	cl := client.New(env.Net)
 	co := cluster.NewCoordinator(env.Dep.Table, cl)
-	compiled, err := pathfinder.Compile(QShardedSemiJoin, env.Registry)
+	compiled, err := pathfinder.Compile(query, env.Registry)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sharded semi-join: %w", err)
 	}
@@ -259,7 +356,7 @@ func (env *ShardedEnv) RunSemiJoin() (*Result, xdm.Sequence, error) {
 		aTime = 0
 	}
 	return &Result{
-		Strategy:     fmt.Sprintf("sharded semi-join ×%d", env.Dep.Table.NumShards()),
+		Strategy:     label,
 		Rows:         len(seq),
 		Total:        total,
 		ATime:        aTime,

@@ -207,6 +207,79 @@ func TestShardedSemiJoinAgreesWithUnsharded(t *testing.T) {
 	}
 }
 
+func TestSemiJoinSidesAgree(t *testing.T) {
+	cfg := testConfig()
+	for _, shards := range []int{1, 2, 4} {
+		env, err := NewShardedEnv(cfg, shards, 1, netsim.NewNetwork(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, keysSeq, err := env.RunSemiJoin()
+		if err != nil {
+			t.Fatalf("%d shards, ship keys: %v", shards, err)
+		}
+		dataRes, dataSeq, err := env.RunSemiJoinData()
+		if err != nil {
+			t.Fatalf("%d shards, ship data: %v", shards, err)
+		}
+		if got, want := xdm.SerializeSequence(dataSeq), xdm.SerializeSequence(keysSeq); got != want {
+			t.Fatalf("%d shards: data-side result differs from keys-side\ngot:  %.200s\nwant: %.200s",
+				shards, got, want)
+		}
+		// the loop-invariant Q_B1() broadcast dedupes to one scattered
+		// bulk request: one request per shard, independent of persons
+		if dataRes.Requests != int64(shards) {
+			t.Fatalf("%d shards: data side served %d requests, want %d",
+				shards, dataRes.Requests, shards)
+		}
+	}
+}
+
+func TestSemiJoinAutoShipsSmallerSide(t *testing.T) {
+	// few short probe keys against many annotated auctions: keys ship
+	small, err := NewShardedEnv(testConfig(), 2, 1, netsim.NewNetwork(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice := small.ChooseSemiJoinSide()
+	if !choice.ShipKeys {
+		t.Fatalf("probe side smaller but choice = ship data (keys %.2g, data %.2g)",
+			choice.EstKeys, choice.EstData)
+	}
+	res, seq, got, err := small.RunSemiJoinAuto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != choice || res == nil || len(seq) == 0 {
+		t.Fatalf("auto run: choice %+v, res %v, %d rows", got, res, len(seq))
+	}
+
+	// many probe keys against a tiny auction side: the data ships
+	bigProbe := xmark.Config{Persons: 400, ClosedAuctions: 3, Matches: 2, AnnotationWords: 5, Seed: 7}
+	flipped, err := NewShardedEnv(bigProbe, 2, 1, netsim.NewNetwork(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := flipped.ChooseSemiJoinSide(); c.ShipKeys {
+		t.Fatalf("data side smaller but choice = ship keys (keys %.2g, data %.2g)",
+			c.EstKeys, c.EstData)
+	}
+	_, keysSeq, err := flipped.RunSemiJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, autoSeq, c, err := flipped.RunSemiJoinAuto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ShipKeys {
+		t.Fatal("auto run shipped keys for the flipped sides")
+	}
+	if xdm.SerializeSequence(autoSeq) != xdm.SerializeSequence(keysSeq) {
+		t.Fatal("auto (data side) result differs from keys side")
+	}
+}
+
 func TestShardedSemiJoinSurvivesPrimaryFailure(t *testing.T) {
 	cfg := testConfig()
 	net := netsim.NewNetwork(0, 0)
