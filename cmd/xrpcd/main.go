@@ -327,15 +327,21 @@ func loadDocs(peer *core.Peer, dir string, shard, of int) (int, error) {
 		doc := string(text)
 		if of > 0 {
 			var ranges []cluster.KeyRange
-			doc, ranges, err = cluster.PartitionShardWithRanges(e.Name(), doc, shard, of)
+			var locs []cluster.ElemLoc
+			doc, ranges, locs, err = cluster.PartitionShardWithMeta(e.Name(), doc, shard, of)
 			if err != nil {
 				return n, err
 			}
 			// advertise what this shard contains, so a coordinator can
 			// rebuild range metadata from shardInfo instead of trusting
-			// a static table
+			// a static table; the element-name census rides along so a
+			// derived route can prove its container is the only home of
+			// the elements it selects
 			for _, r := range ranges {
 				peer.Server.ShardRanges = append(peer.Server.ShardRanges, r.String())
+			}
+			for _, l := range locs {
+				peer.Server.ShardRanges = append(peer.Server.ShardRanges, l.String())
 			}
 		}
 		if err := peer.LoadDocument(e.Name(), doc); err != nil {

@@ -441,8 +441,14 @@ func (co *Coordinator) Update(br *client.BulkRequest) ([]xdm.Sequence, error) {
 	if err := co.validTable(); err != nil {
 		return nil, err
 	}
-	spec, _ := co.registeredSpec(br)
+	spec, why := co.registeredSpec(br)
 	if spec == nil {
+		if why != "" {
+			// same visibility as the scatter path: a registered spec that
+			// cannot apply to this request is warned once and counted
+			// before any fallback
+			co.warnInapplicable(br, why)
+		}
 		// no hand-written spec: a derived equality route is just as
 		// sound for updates — the derivation proves the body's update
 		// targets only touch rows carrying the key

@@ -100,26 +100,38 @@ func Deploy(net *netsim.Network, reg *modules.Registry, docs map[string]string, 
 		Registry: reg,
 	}
 	// partition once per document, reused by every replica of a shard;
-	// the emitted ranges become the routing table's partition metadata
+	// the emitted ranges become the routing table's partition metadata,
+	// the element-name census the planner's proof that derived routes
+	// may prune (see ElemLoc)
 	parts := make(map[string][]string, len(docs))
 	shardRanges := make([][]KeyRange, cfg.Shards)
+	var elemLocs []ElemLoc
 	for name, xml := range docs {
-		p, ranges, err := PartitionWithRanges(name, xml, cfg.Shards)
+		p, ranges, locs, err := PartitionWithMeta(name, xml, cfg.Shards)
 		if err != nil {
 			return nil, err
 		}
 		parts[name] = p
+		elemLocs = append(elemLocs, locs...)
 		for s := 0; s < cfg.Shards; s++ {
 			shardRanges[s] = append(shardRanges[s], ranges[s]...)
 		}
 	}
+	rt.SetElemLocs(elemLocs)
 	for s := 0; s < cfg.Shards; s++ {
 		if err := rt.SetRanges(s, shardRanges[s]); err != nil {
 			return nil, err
 		}
-		descriptors := make([]string, len(shardRanges[s]))
-		for i, r := range shardRanges[s] {
-			descriptors[i] = r.String()
+		descriptors := make([]string, 0, len(shardRanges[s])+len(elemLocs))
+		for _, r := range shardRanges[s] {
+			descriptors = append(descriptors, r.String())
+		}
+		// the census rides along in the shardInfo descriptor list: its
+		// "elem" prefix never parses as a KeyRange, so range-descriptor
+		// consumers skip it, and a coordinator building its table from
+		// live shardInfo can rebuild the census too
+		for _, l := range elemLocs {
+			descriptors = append(descriptors, l.String())
 		}
 		for j := 0; j < cfg.Replication; j++ {
 			uri := fmt.Sprintf("%s%d", cfg.URIPrefix, s)

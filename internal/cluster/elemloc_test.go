@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xrpc/internal/client"
+	"xrpc/internal/modules"
+	"xrpc/internal/netsim"
+	"xrpc/internal/xdm"
+)
+
+// decoyModule keys reads and an update on decoy.xml's person id — the
+// same shapes as the persons workload, against documents crafted so
+// person elements also live OUTSIDE the keyed people container.
+const decoyModule = `
+module namespace d = "functions_d";
+declare function d:getPerson($pid as xs:string) as node()*
+{ doc("decoy.xml")//person[@id=$pid] };
+declare updating function d:rename($pid as xs:string, $nm as xs:string)
+{ for $c in doc("decoy.xml")//person[@id=$pid]/name
+  return replace value of node $c with $nm };`
+
+func decoyRegistry(t *testing.T) *modules.Registry {
+	t.Helper()
+	reg := modules.NewRegistry()
+	if err := reg.Register(decoyModule, "http://example.org/d.xq"); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func decoyRequest(fn string, args ...string) *client.BulkRequest {
+	br := &client.BulkRequest{
+		ModuleURI: "functions_d",
+		AtHint:    "http://example.org/d.xq",
+		Func:      fn,
+		Arity:     1,
+	}
+	if fn == "rename" {
+		br.Arity, br.Updating = 2, true
+	}
+	var call []xdm.Sequence
+	for _, a := range args {
+		call = append(call, xdm.Sequence{xdm.String(a)})
+	}
+	br.Calls = [][]xdm.Sequence{call}
+	return br
+}
+
+// keyedPeople renders a 4-row keyed people container (ids p0..p3,
+// codepoint- and natural-ordered).
+const keyedPeople = `<people>` +
+	`<person id="p0"><name>a</name></person>` +
+	`<person id="p1"><name>b</name></person>` +
+	`<person id="p2"><name>c</name></person>` +
+	`<person id="p3"><name>d</name></person>` +
+	`</people>`
+
+// TestElemLocDescriptorRoundTrip pins the census descriptor format:
+// String/ParseElemLoc round-trip, malformed forms fail, and — crucially
+// for shardInfo compatibility — a census descriptor never parses as a
+// KeyRange descriptor and vice versa.
+func TestElemLocDescriptorRoundTrip(t *testing.T) {
+	locs := []ElemLoc{
+		{Doc: "persons.xml", Name: "person", Containers: 1, Path: "/site/people/person"},
+		{Doc: "a b.xml", Name: "row", Containers: 2, Path: "/r/g/row", Outside: true},
+		{Doc: "d.xml", Name: "x", Containers: 3},
+	}
+	for _, l := range locs {
+		back, err := ParseElemLoc(l.String())
+		if err != nil {
+			t.Fatalf("ParseElemLoc(%q): %v", l.String(), err)
+		}
+		if back != l {
+			t.Fatalf("round trip: %+v != %+v", back, l)
+		}
+		if _, err := ParseKeyRange(l.String()); err == nil {
+			t.Fatalf("ParseKeyRange accepted a census descriptor %q", l.String())
+		}
+	}
+	r := KeyRange{Doc: "d.xml", Path: "/a/b", Lo: 0, Hi: 3}
+	if _, err := ParseElemLoc(r.String()); err == nil {
+		t.Fatalf("ParseElemLoc accepted a range descriptor %q", r.String())
+	}
+	for _, bad := range []string{
+		"", "elem", `elem "d.xml"`, `elem "d.xml" "p" x "/a"`,
+		`elem "d.xml" "p" 1 "/a" bogus`,
+	} {
+		if _, err := ParseElemLoc(bad); err == nil {
+			t.Errorf("ParseElemLoc(%q) did not fail", bad)
+		}
+	}
+}
+
+// TestDocElemLocsCensus checks the partition-time classification: row
+// names of containers get a census entry; enclosing structure, nested
+// containers, and row descendants count as "outside" occurrences.
+func TestDocElemLocsCensus(t *testing.T) {
+	xml := `<site>` + keyedPeople +
+		`<teams><team id="t1"><person id="p9"><name>n</name></person></team><team id="t2"><m/></team></teams>` +
+		`</site>`
+	_, _, locs, err := PartitionWithMeta("decoy.xml", xml, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ElemLoc{}
+	for _, l := range locs {
+		if l.Doc != "decoy.xml" {
+			t.Fatalf("census entry with doc %q", l.Doc)
+		}
+		byName[l.Name] = l
+	}
+	// person: rows of the people container AND nested inside a team row
+	p, ok := byName["person"]
+	if !ok || p.Containers != 1 || p.Path != "/site/people/person" || !p.Outside {
+		t.Fatalf("person census = %+v (present %v), want 1 container at /site/people/person with outside occurrences", p, ok)
+	}
+	// team: rows of exactly one container, nowhere else
+	tm, ok := byName["team"]
+	if !ok || tm.Containers != 1 || tm.Path != "/site/teams/team" || tm.Outside {
+		t.Fatalf("team census = %+v (present %v), want the clean single-container entry", tm, ok)
+	}
+	// non-row names (site, name, m, …) are not emitted
+	for _, n := range []string{"site", "teams", "name", "m"} {
+		if _, ok := byName[n]; ok {
+			t.Errorf("census contains non-row name %q", n)
+		}
+	}
+}
+
+// buildTable partitions decoy.xml across 2 shards and builds a routing
+// table carrying the emitted metadata (census included unless withLocs
+// is false).
+func buildTable(t *testing.T, xml string, withLocs bool) *RoutingTable {
+	t.Helper()
+	_, ranges, locs, err := PartitionWithMeta("decoy.xml", xml, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRoutingTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if err := rt.Add(s, "xrpc://t"+string(rune('0'+s))); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.SetRanges(s, ranges[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withLocs {
+		rt.SetElemLocs(locs)
+	}
+	return rt
+}
+
+// TestFindContainerRequiresProvablyUniqueHome is the regression test
+// for the derived-route soundness hole: a suffix that matches a keyed
+// container must still be rejected when same-named elements can live
+// anywhere else — in a non-keyed twin container, replicated outside any
+// container, or nested inside another container's rows — or when no
+// census proves otherwise.
+func TestFindContainerRequiresProvablyUniqueHome(t *testing.T) {
+	clean := `<site>` + keyedPeople + `</site>`
+
+	// clean document: unique keyed home, census proves it
+	rt := buildTable(t, clean, true)
+	for _, c := range []struct {
+		suffix string
+		rooted bool
+	}{{"person", false}, {"people/person", false}, {"/site/people/person", true}} {
+		r, ok := rt.FindContainer("decoy.xml", c.suffix, c.rooted)
+		if !ok || r.Path != "/site/people/person" || !r.Keyed {
+			t.Fatalf("clean doc, suffix %q: FindContainer = %+v, %v; want the keyed container", c.suffix, r, ok)
+		}
+	}
+
+	// no census recorded (e.g. a hand-built table): nothing is provable
+	if _, ok := buildTable(t, clean, false).FindContainer("decoy.xml", "person", false); ok {
+		t.Fatal("FindContainer matched without a census to prove uniqueness")
+	}
+
+	cases := []struct {
+		name, xml string
+		rooted    bool
+	}{
+		{"non-keyed twin container", `<site>` + keyedPeople +
+			`<archive><person><name>old1</name></person><person><name>old2</name></person></archive></site>`, false},
+		{"replicated outside containers", `<site>` + keyedPeople +
+			`<featured><person id="px"><name>x</name></person></featured></site>`, false},
+		{"replicated outside, rooted", `<site>` + keyedPeople +
+			`<featured><person id="px"><name>x</name></person></featured></site>`, true},
+		{"nested in another container's rows", `<site>` + keyedPeople +
+			`<teams><team id="t1"><person id="p9"><name>n</name></person></team><team id="t2"><m/></team></teams></site>`, false},
+	}
+	for _, c := range cases {
+		rt := buildTable(t, c.xml, true)
+		suffix := "person"
+		if c.rooted {
+			suffix = "/site/people/person"
+		}
+		if r, ok := rt.FindContainer("decoy.xml", suffix, c.rooted); ok {
+			t.Errorf("%s: FindContainer matched %+v; pruning would drop the decoy elements", c.name, r)
+		}
+	}
+}
+
+// TestPlannerRefusesDecoyElementHomes drives the soundness hole end to
+// end: decoy.xml holds keyed person rows PLUS person elements the key
+// bounds know nothing about. The derivation must refuse, reads must
+// broadcast (byte-identical to a planner-less coordinator), and an
+// updating request must fail with "no route" instead of being misrouted
+// by a derived spec.
+func TestPlannerRefusesDecoyElementHomes(t *testing.T) {
+	cases := []struct {
+		name, xml, probe string
+	}{
+		// replicated: broadcast legitimately returns one copy per shard;
+		// pruning would return at most one
+		{"replicated outside containers",
+			`<site>` + keyedPeople + `<featured><person id="px"><name>x</name></person></featured></site>`,
+			"px"},
+		// nested: person p9 travels with team t1's row, outside the
+		// people key bounds [p0,p3]; pruning would find zero candidates
+		// and silently return empty
+		{"nested in another container's rows",
+			`<site>` + keyedPeople + `<teams><team id="t1"><person id="p9"><name>n</name></person></team><team id="t2"><m/></team></teams></site>`,
+			"p9"},
+	}
+	for _, c := range cases {
+		net := netsim.NewNetwork(0, 0)
+		dep, err := Deploy(net, decoyRegistry(t), map[string]string{"decoy.xml": c.xml},
+			DeployConfig{Shards: 2, Replication: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		co := dep.Coordinator() // zero hand-written specs, planner attached
+
+		br := decoyRequest("getPerson", c.probe)
+		spec, reason, analysed := co.derivedSpec(br)
+		if spec != nil || !analysed {
+			t.Fatalf("%s: derivedSpec = %+v (analysed %v), want an analysed refusal", c.name, spec, analysed)
+		}
+		if !strings.Contains(reason, "does not resolve") {
+			t.Fatalf("%s: refusal reason = %q", c.name, reason)
+		}
+		if dec := co.plan(br); dec.strategy != "broadcast" {
+			t.Fatalf("%s: plan chose %s, want broadcast", c.name, dec.strategy)
+		}
+
+		res, err := co.Scatter(br)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(res[0]) == 0 {
+			t.Fatalf("%s: probe for %s came back empty — the decoy element was dropped", c.name, c.probe)
+		}
+		plain := NewCoordinator(dep.Table, client.New(net)) // no planner: pure broadcast
+		bres, err := plain.Scatter(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeResults(br, res), encodeResults(br, bres)) {
+			t.Fatalf("%s: planner scatter differs from broadcast", c.name)
+		}
+
+		// the update path must not trust a derived route either
+		if _, err := co.Update(decoyRequest("rename", c.probe, "zz")); err == nil ||
+			!strings.Contains(err.Error(), "no route") {
+			t.Fatalf("%s: update error = %v, want a no-route refusal", c.name, err)
+		}
+	}
+}
+
+// TestShardInfoAdvertisesElemCensus checks the census travels with the
+// shardInfo descriptors, so a coordinator building its table from live
+// peers can rebuild it (the e2e xrpcd test exercises the same flow over
+// HTTP for ranges).
+func TestShardInfoAdvertisesElemCensus(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	dep := deployPersons(t, net, 9, 3, 1)
+	cl := client.New(net)
+	for s := 0; s < 3; s++ {
+		res, err := cl.CallBulk(dep.Table.Primary(s), &client.BulkRequest{
+			ModuleURI: client.SystemModule,
+			Func:      "shardInfo",
+			Arity:     0,
+			Calls:     [][]xdm.Sequence{{}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []ElemLoc
+		for _, item := range res[0] {
+			if l, err := ParseElemLoc(item.StringValue()); err == nil {
+				got = append(got, l)
+			}
+		}
+		want, ok := dep.Table.ElemLocFor("persons.xml", "person")
+		if !ok {
+			t.Fatal("deployment table has no census for persons.xml person")
+		}
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("shard %d advertises census %+v, table holds %+v", s, got, want)
+		}
+	}
+}

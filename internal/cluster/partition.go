@@ -52,19 +52,28 @@ func Partition(name, xml string, n int) ([]string, error) {
 // the key bounds of that slice. The ranges are what a RoutingTable
 // needs to route single-shard updates and prune key-predicate scatters.
 func PartitionWithRanges(name, xml string, n int) ([]string, [][]KeyRange, error) {
+	texts, ranges, _, err := PartitionWithMeta(name, xml, n)
+	return texts, ranges, err
+}
+
+// PartitionWithMeta splits like PartitionWithRanges and additionally
+// emits the document's element-name census (one ElemLoc per container
+// row name; identical for every shard) — the metadata FindContainer
+// needs before a compiler-derived route may prune anything.
+func PartitionWithMeta(name, xml string, n int) ([]string, [][]KeyRange, []ElemLoc, error) {
 	if n < 1 {
-		return nil, nil, fmt.Errorf("cluster: partition into %d shards", n)
+		return nil, nil, nil, fmt.Errorf("cluster: partition into %d shards", n)
 	}
 	doc, err := xdm.ParseDocument(name, xml)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: partition %s: %w", name, err)
+		return nil, nil, nil, fmt.Errorf("cluster: partition %s: %w", name, err)
 	}
 	texts := make([]string, n)
 	ranges := make([][]KeyRange, n)
 	for k := 0; k < n; k++ {
 		texts[k] = xdm.SerializeNode(shardTree(doc, k, n, name, "", &ranges[k]))
 	}
-	return texts, ranges, nil
+	return texts, ranges, docElemLocs(doc, name), nil
 }
 
 // PartitionShard returns only shard k of n (what one xrpcd -shard k
@@ -77,15 +86,23 @@ func PartitionShard(name, xml string, k, n int) (string, error) {
 // PartitionShardWithRanges returns shard k of n plus its partition
 // metadata (what xrpcd -shard k -of n reports via shardInfo).
 func PartitionShardWithRanges(name, xml string, k, n int) (string, []KeyRange, error) {
+	text, ranges, _, err := PartitionShardWithMeta(name, xml, k, n)
+	return text, ranges, err
+}
+
+// PartitionShardWithMeta returns shard k of n, its partition metadata,
+// and the document's element-name census (shard-independent; every
+// shard reports the same census via shardInfo).
+func PartitionShardWithMeta(name, xml string, k, n int) (string, []KeyRange, []ElemLoc, error) {
 	if k < 0 || k >= n {
-		return "", nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", k, n)
+		return "", nil, nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", k, n)
 	}
 	doc, err := xdm.ParseDocument(name, xml)
 	if err != nil {
-		return "", nil, fmt.Errorf("cluster: partition %s: %w", name, err)
+		return "", nil, nil, fmt.Errorf("cluster: partition %s: %w", name, err)
 	}
 	var ranges []KeyRange
-	return xdm.SerializeNode(shardTree(doc, k, n, name, "", &ranges)), ranges, nil
+	return xdm.SerializeNode(shardTree(doc, k, n, name, "", &ranges)), ranges, docElemLocs(doc, name), nil
 }
 
 // isContainer reports whether n's children are a run of same-named
@@ -194,4 +211,65 @@ func shardTree(n *xdm.Node, k, shards int, doc, path string, ranges *[]KeyRange)
 		c.AppendChild(shardTree(ch, k, shards, doc, path, ranges))
 	}
 	return c
+}
+
+// docElemLocs walks the document the way shardTree does — recursion
+// stops at containers, rows are copied whole — and classifies every
+// element occurrence: a row of a top-level container, or "outside"
+// (enclosing structure, which replication puts on every shard, and
+// anything nested below a row, which travels with the row's key). The
+// census is returned only for names that are container row names —
+// other names can never match a container range, so derived routing
+// never asks about them — in deterministic document order.
+func docElemLocs(doc *xdm.Node, name string) []ElemLoc {
+	acc := map[string]*ElemLoc{}
+	var order []string
+	get := func(elem string) *ElemLoc {
+		l, ok := acc[elem]
+		if !ok {
+			l = &ElemLoc{Doc: name, Name: elem}
+			acc[elem] = l
+			order = append(order, elem)
+		}
+		return l
+	}
+	var markOutside func(n *xdm.Node)
+	markOutside = func(n *xdm.Node) {
+		for _, c := range n.Children {
+			if c.Kind == xdm.ElementNode {
+				get(c.Name).Outside = true
+				markOutside(c)
+			}
+		}
+	}
+	var walk func(n *xdm.Node, path string)
+	walk = func(n *xdm.Node, path string) {
+		if n.Kind == xdm.ElementNode {
+			path += "/" + n.Name
+		}
+		if isContainer(n) {
+			kids := n.ChildElements()
+			l := get(kids[0].Name)
+			l.Containers++
+			l.Path = path + "/" + kids[0].Name
+			for _, ch := range kids {
+				markOutside(ch) // descendants of rows: nested occurrences
+			}
+			return
+		}
+		for _, c := range n.Children {
+			if c.Kind == xdm.ElementNode {
+				get(c.Name).Outside = true
+				walk(c, path)
+			}
+		}
+	}
+	walk(doc, "")
+	var out []ElemLoc
+	for _, elem := range order {
+		if l := acc[elem]; l.Containers > 0 {
+			out = append(out, *l)
+		}
+	}
+	return out
 }

@@ -89,7 +89,8 @@ func (co *Coordinator) derivedSpec(br *client.BulkRequest) (spec *RouteSpec, rea
 	}
 	r, ok := co.Table.FindContainer(k.Doc, k.PathSuffix, k.Rooted)
 	if !ok {
-		return nil, fmt.Sprintf("derived container %s %s does not match one keyed container",
+		return nil, fmt.Sprintf(
+			"derived container %s %s does not resolve to the provably unique home of its elements (no, ambiguous, or unkeyed container match, or the element name occurs outside it)",
 			k.Doc, k.PathSuffix), true
 	}
 	if r.KeyAttr != k.KeyAttr {
@@ -117,13 +118,21 @@ func (co *Coordinator) derivedSpec(br *client.BulkRequest) (spec *RouteSpec, rea
 func (co *Coordinator) decide(source string, spec *RouteSpec, br *client.BulkRequest, costed bool) *planDecision {
 	parts := co.partition(br, spec)
 	d := &planDecision{source: source, spec: spec, parts: parts}
-	assigned := 0
+	// routed iff every call reached at most one shard — counted per
+	// call, not in aggregate (one call on two shards plus one call with
+	// zero candidates sums to len(Calls) but is still pruned)
+	perCall := make([]int, len(br.Calls))
 	for _, p := range parts {
-		assigned += len(p.br.Calls)
+		for _, g := range p.orig {
+			perCall[g]++
+		}
 	}
-	d.strategy = "pruned"
-	if assigned <= len(br.Calls) {
-		d.strategy = "routed" // every call reached at most one shard
+	d.strategy = "routed"
+	for _, c := range perCall {
+		if c > 1 {
+			d.strategy = "pruned"
+			break
+		}
 	}
 	var st *planner.Stats
 	if co.Planner != nil {
@@ -185,6 +194,16 @@ func (co *Coordinator) notePlannerFences(fences []shardFence) {
 // observed fence: container cardinalities are the Hi-Lo spans of the
 // shard's key ranges, and the shard link's bytes-per-request average is
 // folded in when the transport exposes peer totals.
+//
+// Accuracy caveat: the routing table's spans are deploy-time
+// partitioning facts that commits do not update, so a snapshot rebuilt
+// after an update carries the deploy-time cardinalities under the fresh
+// fence. The fence still does its correctness job — it invalidates the
+// snapshot whenever a shard's data or modules change, forcing the cost
+// model to re-read whatever is known — but Docs/Containers stay
+// deploy-time estimates until the shards report live counts. That skews
+// cost estimates only, never routing soundness (candidate sets come
+// from the key bounds, not these counts).
 func (co *Coordinator) refreshShardStats(s int, f planner.Fence) {
 	st := co.Planner.Stats
 	snap := planner.Snapshot{Fence: f, Containers: map[string]int64{}}

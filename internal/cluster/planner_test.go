@@ -241,6 +241,40 @@ func TestPlannerDerivedRangePruning(t *testing.T) {
 	}
 }
 
+// TestPlannerMixedPartitionLabelsPruned pins the strategy label on a
+// mixed partition: one range call reaching two shards plus one call
+// with zero candidates sums to len(Calls) — the aggregate the label
+// used to (mis)compare against — but a call still reached two shards,
+// so the decision is "pruned", not "routed".
+func TestPlannerMixedPartitionLabelsPruned(t *testing.T) {
+	net := netsim.NewNetwork(0, 0)
+	reg := modules.NewRegistry()
+	if err := reg.Register(itemsModule, "http://example.org/i.xq"); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Deploy(net, reg, map[string]string{"items.xml": itemsXML(20)},
+		DeployConfig{Shards: 4, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := dep.Coordinator()
+
+	// shards hold k10-14, k15-19, k20-24, k25-29: ">= k20" reaches
+	// shards 2 and 3, ">= k35" reaches none
+	br := itemsFromRequest("k20", "k35")
+	spec, reason, _ := co.derivedSpec(br)
+	if spec == nil {
+		t.Fatalf("no derived spec (reason %q)", reason)
+	}
+	if dec := co.decide("derived", spec, br, false); dec.strategy != "pruned" {
+		t.Fatalf("mixed partition labelled %q, want pruned", dec.strategy)
+	}
+	// degenerate case stays routed: a single call on exactly one shard
+	if dec := co.decide("derived", spec, itemsFromRequest("k25"), false); dec.strategy != "routed" {
+		t.Fatalf("single-shard call labelled %q, want routed", dec.strategy)
+	}
+}
+
 // personsRangeModule ranges over persons.xml, whose personN keys are
 // natural-ordered but NOT codepoint-ordered ("person10" < "person9" in
 // codepoints): the Lex gate must refuse the derived range spec.
@@ -375,6 +409,39 @@ func TestPlannerWarnsOnInapplicableSpecOnce(t *testing.T) {
 	}
 	if got := co.Planner.Metrics.Inapplicable.Value(); got != 2 {
 		t.Fatalf("inapplicable counter = %d, want 2 (every occurrence counted)", got)
+	}
+}
+
+// TestUpdateWarnsOnInapplicableSpec pins the update-path half of the
+// visibility fix: a registered spec whose KeyArg lies outside the
+// request arity is warned and counted before Update falls back (here to
+// the derived equality route, which still commits the update).
+func TestUpdateWarnsOnInapplicableSpec(t *testing.T) {
+	const persons = 8
+	net := netsim.NewNetwork(0, 0)
+	dep := deployPersonsZeroSpec(t, net, persons, 2, 0)
+	co := dep.Coordinator()
+	co.Route(RouteSpec{ModuleURI: "functions_p", Func: "setCity", KeyArg: 5,
+		Doc: "persons.xml", Path: personsPath})
+	co.Planner.Metrics = planner.NewMetrics(obs.NewRegistry())
+	var buf bytes.Buffer
+	co.Planner.Logger = slog.New(slog.NewTextHandler(&buf, nil))
+
+	if _, err := co.CallBulk(DefaultClusterURI, setCityRequest("Leiden", "person1")); err != nil {
+		t.Fatalf("update with inapplicable registered spec: %v", err)
+	}
+	if got := strings.Count(buf.String(), "route spec inapplicable"); got != 1 {
+		t.Fatalf("update logged the inapplicable spec %d times, want once:\n%s", got, buf.String())
+	}
+	if got := co.Planner.Metrics.Inapplicable.Value(); got != 1 {
+		t.Fatalf("inapplicable counter = %d, want 1", got)
+	}
+	res, err := co.Scatter(getPersonRequest("person1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xdm.SerializeSequence(res[0]), "<city>Leiden</city>") {
+		t.Fatal("update did not land via the derived fallback route")
 	}
 }
 

@@ -131,6 +131,100 @@ func ParseKeyRange(s string) (KeyRange, error) {
 	return r, nil
 }
 
+// ElemLoc records where elements of one name live inside a partitioned
+// document — the partition-time census that licenses a *derived* route
+// to prune. A derived spec matches a path suffix like "person" against
+// a keyed container, but `//person[@id=$k]` selects person elements
+// anywhere in the document: rows of other containers (sliced across
+// shards under different bounds), enclosing structure (replicated to
+// every shard), or elements nested inside another container's rows
+// (shipped wherever that row went). Pruning on the matched container's
+// key bounds is sound only when its rows are provably the ONLY elements
+// of that name — exactly what this census records. Emitted by the
+// partitioner for every name that is the row name of some container.
+type ElemLoc struct {
+	// Doc is the document the census describes.
+	Doc string
+	// Name is the element name.
+	Name string
+	// Containers counts the containers whose rows bear Name. Two
+	// containers may share one path (sibling repeats under a non-
+	// container parent), so a count — not a path set — is what proves
+	// uniqueness.
+	Containers int
+	// Path is the container path of the rows when Containers == 1.
+	Path string
+	// Outside reports that Name also occurs outside any container's
+	// rows: as enclosing structure (replicated to every shard) or
+	// nested inside some container's row subtrees.
+	Outside bool
+}
+
+// String renders the census entry as a single parseable descriptor. The
+// "elem" prefix keeps it from parsing as a KeyRange descriptor, so
+// pre-existing shardInfo consumers skip it; ParseElemLoc round-trips it.
+func (l ElemLoc) String() string {
+	s := fmt.Sprintf("elem %s %s %d %s",
+		strconv.Quote(l.Doc), strconv.Quote(l.Name), l.Containers, strconv.Quote(l.Path))
+	if l.Outside {
+		s += " outside"
+	}
+	return s
+}
+
+// ParseElemLoc parses an ElemLoc.String() descriptor.
+func ParseElemLoc(s string) (ElemLoc, error) {
+	var l ElemLoc
+	fail := func() (ElemLoc, error) {
+		return ElemLoc{}, fmt.Errorf("cluster: malformed element-location descriptor %q", s)
+	}
+	rest, ok := strings.CutPrefix(s, "elem ")
+	if !ok {
+		return fail()
+	}
+	quoted := func(rest string) (string, string, bool) {
+		rest = strings.TrimLeft(rest, " ")
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return "", rest, false
+		}
+		v, err := strconv.Unquote(q)
+		if err != nil {
+			return "", rest, false
+		}
+		return v, rest[len(q):], true
+	}
+	if l.Doc, rest, ok = quoted(rest); !ok {
+		return fail()
+	}
+	if l.Name, rest, ok = quoted(rest); !ok {
+		return fail()
+	}
+	rest = strings.TrimLeft(rest, " ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		sp = len(rest)
+	}
+	n, err := strconv.Atoi(rest[:sp])
+	if err != nil {
+		return fail()
+	}
+	l.Containers = n
+	rest = rest[sp:]
+	if l.Path, rest, ok = quoted(rest); !ok {
+		return fail()
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "outside" {
+		l.Outside = true
+		rest = ""
+	}
+	if rest != "" {
+		return fail()
+	}
+	return l, nil
+}
+
 // CompareKeys orders partition keys "naturally": maximal runs of ASCII
 // digits compare as integers ("person2" < "person10"), everything else
 // byte-wise. This is the order the partitioner checks container keys
@@ -192,6 +286,11 @@ type RoutingTable struct {
 	mu       sync.RWMutex
 	replicas [][]string
 	ranges   [][]KeyRange
+	// locs is the partition-time element-name census, doc → name →
+	// ElemLoc (see ElemLoc). Derived routes consult it through
+	// FindContainer; absence of an entry means "unproven" and rejects
+	// the derivation — registered specs never read it.
+	locs map[string]map[string]ElemLoc
 	// validKnown/validErr cache Validate's verdict between mutations, so
 	// the per-request validity check on the scatter/update hot path is a
 	// flag read, not a full table walk.
@@ -257,6 +356,34 @@ func (rt *RoutingTable) SetRanges(shard int, ranges []KeyRange) error {
 	rt.ranges[shard] = append([]KeyRange(nil), ranges...)
 	rt.validKnown = false
 	return nil
+}
+
+// SetElemLocs records the element-name census of one document (what
+// the partitioner emitted; identical for every shard of the document).
+// Entries replace any previous census for the same (doc, name).
+func (rt *RoutingTable) SetElemLocs(locs []ElemLoc) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.locs == nil {
+		rt.locs = make(map[string]map[string]ElemLoc)
+	}
+	for _, l := range locs {
+		byName := rt.locs[l.Doc]
+		if byName == nil {
+			byName = make(map[string]ElemLoc)
+			rt.locs[l.Doc] = byName
+		}
+		byName[l.Name] = l
+	}
+}
+
+// ElemLocFor returns the recorded census entry for an element name of a
+// document (false when the partitioner emitted none).
+func (rt *RoutingTable) ElemLocFor(doc, name string) (ElemLoc, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	l, ok := rt.locs[doc][name]
+	return l, ok
 }
 
 // Ranges returns the shard's partition metadata.
@@ -350,15 +477,30 @@ func (rt *RoutingTable) CandidateShardsOp(doc, path, key, op string) []int {
 // FindContainer locates the unique keyed container whose path matches
 // the derived pattern: the full rooted path when rooted, otherwise a
 // path whose trailing steps equal the suffix ("person" matches
-// "/site/people/person"). Ambiguous suffixes (two containers ending in
-// the same steps) match nothing — a derived spec must never guess.
+// "/site/people/person") — and proves the match is the only place the
+// selected elements can live. Three checks, each rejecting to the safe
+// broadcast fallback:
+//
+//  1. Exactly one container path (keyed or not) may match the pattern —
+//     a non-keyed container ending in the same steps holds same-named
+//     rows with no key bounds, so pruning on the keyed one would drop
+//     its rows on excluded shards.
+//  2. The unique match must be keyed (unkeyed bounds prune nothing).
+//  3. The partitioner's element-name census (ElemLoc) must prove the
+//     matched container's rows are the ONLY elements of that name in
+//     the document: one container bears the name, at this path, and the
+//     name never occurs outside container rows (enclosing structure is
+//     replicated to every shard; elements nested inside another
+//     container's rows travel with that row's key, not their own). A
+//     document or table without a census entry matches nothing — a
+//     derived spec must never guess.
 func (rt *RoutingTable) FindContainer(doc, suffix string, rooted bool) (KeyRange, bool) {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
 	matched := map[string]KeyRange{}
 	for _, ranges := range rt.ranges {
 		for _, r := range ranges {
-			if r.Doc != doc || !r.Keyed {
+			if r.Doc != doc {
 				continue
 			}
 			if rooted {
@@ -375,6 +517,14 @@ func (rt *RoutingTable) FindContainer(doc, suffix string, rooted bool) (KeyRange
 		return KeyRange{}, false
 	}
 	for _, r := range matched {
+		if !r.Keyed {
+			return KeyRange{}, false
+		}
+		name := suffix[strings.LastIndexByte(suffix, '/')+1:]
+		loc, ok := rt.locs[doc][name]
+		if !ok || loc.Containers != 1 || loc.Path != r.Path || loc.Outside {
+			return KeyRange{}, false
+		}
 		return r, true
 	}
 	return KeyRange{}, false
